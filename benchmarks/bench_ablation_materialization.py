@@ -1,0 +1,15 @@
+"""Ablation: materialized, reusable sorted runs (Section 3.1)."""
+
+from repro.bench.figures import ablations
+
+
+def test_ablation_materialization(figure_bench):
+    result = figure_bench(
+        ablations.run_materialization, "ablation-materialization", scale=0.5
+    )
+    masm = result.series("masm (materialized)")
+    resort = result.series("resort per query")
+
+    # Re-sorting per query moves vastly more SSD bytes than reading the
+    # narrowed run blocks — every single query.
+    assert all(r > m * 5 for m, r in zip(masm, resort))

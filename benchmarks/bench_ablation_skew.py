@@ -1,0 +1,18 @@
+"""Ablation: duplicate merging under zipfian update skew (Section 3.5)."""
+
+from repro.bench.figures import ablations
+
+
+def test_ablation_skew(figure_bench):
+    result = figure_bench(ablations.run_skew, "ablation-skew", scale=0.5)
+
+    keep_bytes = result.cell("keep duplicates", "cache bytes used")
+    merge_bytes = result.cell("merge duplicates", "cache bytes used")
+    keep_stored = result.cell("keep duplicates", "updates stored")
+    merge_stored = result.cell("merge duplicates", "updates stored")
+    merged = result.cell("merge duplicates", "duplicates merged")
+
+    # Merging duplicates under skew shrinks both stored records and bytes.
+    assert merge_stored < keep_stored
+    assert merge_bytes < keep_bytes
+    assert merged > 0

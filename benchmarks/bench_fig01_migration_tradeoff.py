@@ -1,0 +1,24 @@
+"""Figure 1: migration overhead vs memory footprint."""
+
+from repro.bench.figures import fig01_migration_tradeoff
+
+
+def test_figure_1(figure_bench):
+    result = figure_bench(fig01_migration_tradeoff.run, "figure-01", scale=0.15)
+
+    prior = result.series("state-of-the-art")
+    masm = result.series("masm (alpha=1)")
+
+    # Prior art: overhead halves per memory doubling (1/x on a log-log plot).
+    for a, b in zip(prior, prior[1:]):
+        assert a > b
+    # MaSM: overhead falls with the SQUARE of memory - much steeper.
+    assert masm[0] / masm[2] > (prior[0] / prior[2]) * 10
+    # The paper's equivalence: prior art at 16GB == 1.0; MaSM crosses below
+    # prior art long before that.
+    assert result.cell("16GB", "state-of-the-art") == 1.0
+    assert result.cell("64MB", "masm (alpha=1)") < result.cell(
+        "64MB", "state-of-the-art"
+    )
+    # Measured miniatures confirmed the scaling laws (recorded as notes).
+    assert any("measured (MaSM)" in note for note in result.notes)

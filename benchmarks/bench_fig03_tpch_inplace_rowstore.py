@@ -1,0 +1,26 @@
+"""Figure 3: TPC-H with random in-place updates on the row store."""
+
+from repro.bench.figures import fig03_tpch_inplace_rowstore
+
+
+def test_figure_3(figure_bench):
+    result = figure_bench(fig03_tpch_inplace_rowstore.run, "figure-03", scale=0.3)
+
+    mixed = result.series("query w/ updates")
+    offline = result.series("query only + update only")
+
+    # Paper: 1.5-4.1x slowdowns, 2.2x on average.
+    avg = sum(mixed) / len(mixed)
+    assert 1.3 < avg < 3.2
+    assert max(mixed) < 6.0
+    assert min(mixed) > 1.0
+
+    # Interference: concurrent execution costs at least as much as the two
+    # workloads run separately.  (The paper measures 1.6x extra; a pure
+    # service-time disk model reproduces only a small positive gap because
+    # the queueing/prefetch disruption of a real disk is not modelled —
+    # see EXPERIMENTS.md.)
+    assert sum(mixed) >= sum(offline) * 0.97
+
+    # All 20 replayable TPC-H queries are present (paper ran 20 of 22).
+    assert len(result.rows) == 20

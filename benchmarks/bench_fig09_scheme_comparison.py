@@ -1,0 +1,34 @@
+"""Figure 9: range scans under in-place, IU, MaSM-coarse, MaSM-fine."""
+
+from repro.bench.figures import fig09_scheme_comparison
+
+
+def test_figure_9(figure_bench):
+    result = figure_bench(
+        fig09_scheme_comparison.run, "figure-09", scale=0.5, repeats=3
+    )
+
+    inplace = result.series("in-place")
+    iu = result.series("IU")
+    fine = result.series("masm-fine")
+    coarse = result.series("masm-coarse")
+
+    # In-place: significant slowdowns at every range size (paper 1.7-3.7x).
+    assert all(v > 1.3 for v in inplace)
+    assert max(inplace) < 6.0
+
+    # IU: low overhead at tiny ranges, heavy at large ones (paper 1.1-3.8x).
+    assert iu[0] < 1.3
+    assert max(iu) > 2.0
+    assert max(iu) < 7.0
+
+    # MaSM-fine: within a few percent everywhere (paper <= 7%).
+    assert all(v < 1.15 for v in fine)
+
+    # MaSM always beats in-place; fine never loses to coarse by much.
+    assert all(f <= i for f, i in zip(fine, inplace))
+    assert all(f <= c * 1.1 for f, c in zip(fine, coarse))
+
+    # At large ranges MaSM is essentially free while IU is the worst.
+    assert fine[-1] < 1.1
+    assert iu[-1] > 1.5

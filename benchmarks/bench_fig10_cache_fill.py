@@ -1,0 +1,20 @@
+"""Figure 10: MaSM scans as the update cache fills (25-99%)."""
+
+from repro.bench.figures import fig10_cache_fill
+
+
+def test_figure_10(figure_bench):
+    result = figure_bench(fig10_cache_fill.run, "figure-10", scale=0.5, repeats=3)
+
+    # Paper: performance comparable to scans without updates at every fill
+    # level, with only a few percent at the smallest ranges.
+    for column in result.columns:
+        series = result.series(column)
+        assert max(series) < 1.3, f"{column}: {series}"
+        # Large ranges are essentially free.
+        assert series[-1] < 1.1
+
+    # Fuller caches never make things dramatically worse than emptier ones.
+    quarter = result.series("25% full")
+    nearly = result.series("99% full")
+    assert all(n <= q * 1.35 + 0.05 for q, n in zip(quarter, nearly))

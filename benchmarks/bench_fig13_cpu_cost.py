@@ -1,0 +1,22 @@
+"""Figure 13: injected per-record CPU cost — flat then linear; MaSM == scan."""
+
+from repro.bench.figures import fig13_cpu_cost
+
+
+def test_figure_13(figure_bench):
+    result = figure_bench(fig13_cpu_cost.run, "figure-13", scale=0.5)
+
+    scan = result.series("scan w/o updates")
+    masm = result.series("MaSM")
+
+    # MaSM indistinguishable from the pure scan at every CPU cost (paper:
+    # "indistinguishable performance compared with pure range scans").
+    for s, m in zip(scan, masm):
+        assert abs(s - m) / s < 0.12
+
+    # Flat while I/O bound: the first points are within noise of each other.
+    assert abs(scan[1] - scan[2]) / scan[1] < 0.1
+    # CPU bound at the highest injected cost: clearly above the flat region.
+    assert scan[-1] > scan[1] * 1.15
+    # And the growth from 2.0 to 2.5us is roughly linear in the cost.
+    assert scan[-1] > scan[-2]

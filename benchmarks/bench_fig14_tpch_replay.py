@@ -1,0 +1,21 @@
+"""Figure 14: TPC-H replay — in-place vs MaSM online updates."""
+
+from repro.bench.figures import fig14_tpch_replay
+
+
+def test_figure_14(figure_bench):
+    result = figure_bench(fig14_tpch_replay.run, "figure-14", scale=0.3)
+
+    inplace = result.series("in-place updates")
+    masm = result.series("MaSM updates")
+
+    # Paper: in-place 1.6-2.2x; MaSM within ~1% of queries without updates.
+    avg_inplace = sum(inplace) / len(inplace)
+    avg_masm = sum(masm) / len(masm)
+    assert 1.4 < avg_inplace < 3.0
+    assert avg_masm < 1.03
+    assert max(masm) < 1.10
+
+    # Every query: MaSM strictly beats in-place updates.
+    assert all(m < i for m, i in zip(masm, inplace))
+    assert len(result.rows) == 20

@@ -1,0 +1,24 @@
+"""Section 2.3: LSM write amplification vs MaSM (analytic + measured)."""
+
+from repro.bench.figures import lsm_write_amplification
+
+
+def test_lsm_write_amplification(figure_bench):
+    result = figure_bench(lsm_write_amplification.run, "lsm-write-amp", scale=0.5)
+
+    # The paper's headline numbers at 4GB flash / 16MB memory.
+    assert abs(result.cell("LSM h=1", "analytic") - 128.5) < 1.0
+    assert abs(result.cell("LSM h=4", "analytic") - 17.5) < 1.0
+
+    # Measured miniature LSM tracks its model.
+    analytic = result.cell("LSM h=1 (measured, r=16)", "analytic")
+    measured = result.cell("LSM h=1 (measured, r=16)", "measured")
+    assert abs(measured - analytic) / analytic < 0.5
+
+    # MaSM writes each update once (2M) to about twice (M) — 17x less wear
+    # than the optimal LSM.
+    masm_2m = result.cell("MaSM-2M", "measured")
+    masm_m = result.cell("MaSM-M", "measured")
+    assert masm_2m < 1.2
+    assert masm_m < 2.3
+    assert result.cell("LSM h=4", "analytic") / max(masm_2m, 0.5) > 10

@@ -1,0 +1,25 @@
+"""Theorems 3.2/3.3: the alpha spectrum of memory vs SSD writes."""
+
+from repro.bench.figures import theorem_writes
+
+
+def test_theorem_writes(figure_bench):
+    result = figure_bench(theorem_writes.run, "theorem-writes", scale=0.5)
+
+    theory = result.series("theory writes/upd")
+    measured = result.series("measured writes/upd")
+    memory = result.series("memory pages")
+
+    # Theory: monotone decreasing in alpha, from ~2 (alpha=1) to 1 (alpha=2).
+    assert theory == sorted(theory, reverse=True)
+    assert abs(theory[-1] - 1.0) < 0.05
+    assert 1.7 < theory[0] < 2.1
+
+    # Memory grows with alpha (the other side of the trade-off).
+    assert memory == sorted(memory)
+    assert memory[-1] >= memory[0] * 1.8
+
+    # Measured: endpoints match the theorems; overall trend downward.
+    assert measured[0] > measured[-1]
+    assert measured[0] < 2.3  # near the alpha=1 worst case of ~2
+    assert measured[-1] < 1.2  # alpha=2 writes each update about once

@@ -1,0 +1,37 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark runs one figure driver under pytest-benchmark, prints the
+paper-style table, saves it under ``benchmarks/results/``, and asserts the
+qualitative shape the paper reports (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Run a figure driver once under the benchmark fixture.
+
+    Returns the driver's FigureResult; the rendered table is printed (shown
+    with ``-s`` or on failure) and persisted to benchmarks/results/.
+    """
+
+    def _run(driver, slug: str, **kwargs):
+        result = benchmark.pedantic(
+            lambda: driver(**kwargs), rounds=1, iterations=1
+        )
+        text = result.format()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{slug}.csv").write_text(result.to_csv())
+        return result
+
+    return _run

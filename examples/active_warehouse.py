@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Active data warehousing: 24/7 analytics with continuous online updates.
+
+The scenario from the paper's introduction — a warehouse that can no longer
+defer updates to a nightly window.  Two configurations run the same mixed
+workload (continuous updates + periodic analysis scans):
+
+* conventional in-place updates, which trash the scans; and
+* MaSM, which caches updates on an SSD and merges them into scans.
+
+The script reports per-query latency and the sustained update rate of each.
+
+Run:  python examples/active_warehouse.py
+"""
+
+from repro import (
+    GB,
+    MB,
+    InPlaceUpdater,
+    MaSM,
+    SimulatedDisk,
+    SimulatedSSD,
+    StorageVolume,
+    build_synthetic_table,
+)
+from repro.baselines.inplace import interleaved_scan
+from repro.core.masm import MaSMConfig
+from repro.storage import CpuMeter, OverlapWindow
+from repro.util.units import KB, fmt_time
+from repro.workloads.synthetic import SyntheticUpdateGenerator
+
+RECORDS = 150_000
+QUERIES = 6
+UPDATES_PER_CHUNK = 1.0  # online update arrival rate per 1MB of scan
+
+
+def run_inplace() -> tuple[list[float], float]:
+    disk = SimulatedDisk(capacity=1 * GB)
+    volume = StorageVolume(disk)
+    table = build_synthetic_table(volume, RECORDS)
+    generator = SyntheticUpdateGenerator(RECORDS, seed=1)
+    latencies = []
+    applied_before = 0
+    updater = InPlaceUpdater(table)
+    total = OverlapWindow({"disk": disk})
+    with total:
+        for _ in range(QUERIES):
+            window = OverlapWindow({"disk": disk})
+            with window:
+                for _ in interleaved_scan(
+                    table,
+                    *table.full_key_range(),
+                    generator.stream(),
+                    UPDATES_PER_CHUNK,
+                    updater=updater,
+                ):
+                    pass
+            latencies.append(window.elapsed)
+    rate = updater.applied / total.elapsed if total.elapsed else 0.0
+    return latencies, rate
+
+
+def run_masm() -> tuple[list[float], float]:
+    disk = SimulatedDisk(capacity=1 * GB)
+    ssd = SimulatedSSD(capacity=16 * MB)
+    cpu = CpuMeter()
+    table = build_synthetic_table(StorageVolume(disk), RECORDS, cpu=cpu)
+    config = MaSMConfig(
+        alpha=1.0,
+        ssd_page_size=8 * KB,
+        block_size=8 * KB,
+        cache_bytes=4 * MB,
+        auto_migrate=True,
+        migration_threshold=0.8,
+    )
+    masm = MaSM(table, StorageVolume(ssd), config=config, cpu=cpu)
+    generator = SyntheticUpdateGenerator(RECORDS, seed=1, oracle=masm.oracle)
+    latencies = []
+    applied = 0
+    total = OverlapWindow({"disk": disk, "ssd": ssd}, cpu)
+    with total:
+        for _ in range(QUERIES):
+            # The same update volume arrives while each query runs; with
+            # MaSM it lands in memory + SSD instead of the scanned disk.
+            for update in generator.stream(1200):
+                masm.apply(update)
+                applied += 1
+            window = OverlapWindow({"disk": disk, "ssd": ssd}, cpu)
+            with window:
+                for _ in masm.range_scan(*table.full_key_range()):
+                    pass
+            latencies.append(window.elapsed)
+    rate = applied / total.elapsed if total.elapsed else 0.0
+    return latencies, rate
+
+
+def main() -> None:
+    print(f"warehouse: {RECORDS} records; {QUERIES} full-table analysis "
+          "queries with updates arriving continuously\n")
+
+    inplace_lat, inplace_rate = run_inplace()
+    masm_lat, masm_rate = run_masm()
+
+    print(f"{'query':>6}  {'in-place':>12}  {'masm':>12}  {'speedup':>8}")
+    for i, (a, b) in enumerate(zip(inplace_lat, masm_lat), 1):
+        print(f"{i:>6}  {fmt_time(a):>12}  {fmt_time(b):>12}  {a / b:>7.2f}x")
+    avg_in = sum(inplace_lat) / len(inplace_lat)
+    avg_ms = sum(masm_lat) / len(masm_lat)
+    print(f"{'avg':>6}  {fmt_time(avg_in):>12}  {fmt_time(avg_ms):>12}  "
+          f"{avg_in / avg_ms:>7.2f}x")
+    print(f"\nsustained update rate: in-place {inplace_rate:,.0f}/s vs "
+          f"MaSM {masm_rate:,.0f}/s "
+          f"({masm_rate / max(inplace_rate, 1e-9):.0f}x higher)")
+    print("\nMaSM keeps analysis latency at the no-update level while "
+          "absorbing orders of magnitude more updates (Figures 9 and 12).")
+
+
+if __name__ == "__main__":
+    main()

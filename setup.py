@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (no-network environments lack the
+``wheel`` package that PEP 517 editable builds require). All metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

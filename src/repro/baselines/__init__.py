@@ -1,0 +1,21 @@
+"""Baseline online-update schemes the paper compares MaSM against:
+
+* :class:`InPlaceUpdater` — conventional random in-place updates (§2.2);
+* :class:`IndexedUpdates` — the ideal-case SSD IU of §2.3 / Figure 9;
+* :class:`LSMUpdateCache` — LSM-on-SSD with measured write amplification;
+* :class:`InMemoryDifferential` — PDT-style in-memory cache (Figure 1).
+"""
+
+from repro.baselines.inplace import InPlaceUpdater, interleaved_scan
+from repro.baselines.iu import IU_PAGE, IndexedUpdates
+from repro.baselines.lsm import LSMUpdateCache
+from repro.baselines.memdiff import InMemoryDifferential
+
+__all__ = [
+    "IU_PAGE",
+    "InMemoryDifferential",
+    "InPlaceUpdater",
+    "IndexedUpdates",
+    "LSMUpdateCache",
+    "interleaved_scan",
+]

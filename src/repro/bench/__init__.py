@@ -1,0 +1,5 @@
+"""Benchmark harness and per-figure experiment drivers."""
+
+from repro.bench.harness import FigureResult, geometric_mean, normalize
+
+__all__ = ["FigureResult", "geometric_mean", "normalize"]

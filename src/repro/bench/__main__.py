@@ -1,0 +1,85 @@
+"""Command-line runner for the figure-reproduction experiments.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench figure-9 figure-14
+    python -m repro.bench --all --scale 0.5
+    python -m repro.bench figure-12 --csv out/
+
+Each experiment prints the paper-style table; ``--csv`` also writes one CSV
+per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.figures import ALL_DRIVERS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the MaSM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (see --list); default: none",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the driver's default scale (bigger = slower, closer "
+        "to the paper's regime)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write <experiment>.csv files into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in sorted(ALL_DRIVERS):
+            print(key)
+        return 0
+
+    keys = sorted(ALL_DRIVERS) if args.all else args.experiments
+    if not keys:
+        parser.print_usage()
+        print("nothing to run: name experiments, or use --all / --list")
+        return 2
+    unknown = [k for k in keys if k not in ALL_DRIVERS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see the available ids", file=sys.stderr)
+        return 2
+
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+
+    for key in keys:
+        driver = ALL_DRIVERS[key]
+        kwargs = {} if args.scale is None else {"scale": args.scale}
+        started = time.perf_counter()
+        result = driver(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"[{key} finished in {elapsed:.1f}s wall time]\n")
+        if args.csv is not None:
+            (args.csv / f"{key}.csv").write_text(result.to_csv())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

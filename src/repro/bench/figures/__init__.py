@@ -1,0 +1,37 @@
+"""Experiment drivers, one per table/figure of the paper (see DESIGN.md's
+experiment index).  Each module exposes ``run(scale=...) -> FigureResult``."""
+
+from repro.bench.figures import (
+    ablations,
+    fig01_migration_tradeoff,
+    fig03_tpch_inplace_rowstore,
+    fig04_tpch_inplace_columnstore,
+    fig09_scheme_comparison,
+    fig10_cache_fill,
+    fig11_migration,
+    fig12_sustained_updates,
+    fig13_cpu_cost,
+    fig14_tpch_replay,
+    hdd_cache,
+    lsm_write_amplification,
+    theorem_writes,
+)
+
+ALL_DRIVERS = {
+    "figure-1": fig01_migration_tradeoff.run,
+    "figure-3": fig03_tpch_inplace_rowstore.run,
+    "figure-4": fig04_tpch_inplace_columnstore.run,
+    "figure-9": fig09_scheme_comparison.run,
+    "figure-10": fig10_cache_fill.run,
+    "figure-11": fig11_migration.run,
+    "figure-12": fig12_sustained_updates.run,
+    "figure-13": fig13_cpu_cost.run,
+    "figure-14": fig14_tpch_replay.run,
+    "hdd-cache": hdd_cache.run,
+    "lsm-write-amplification": lsm_write_amplification.run,
+    "theorem-writes": theorem_writes.run,
+    "ablation-materialization": ablations.run_materialization,
+    "ablation-skew": ablations.run_skew,
+}
+
+__all__ = ["ALL_DRIVERS"]

@@ -1,0 +1,159 @@
+"""Figure 4: TPC-H queries with emulated random updates on a column store.
+
+Reproduces the paper's methodology precisely: the column store only supports
+offline updates, so the update I/O is *recorded as a trace* while applying
+updates offline, and during queries the trace is replayed with writes
+converted to reads — identical disk-head movement without corrupting data
+(Section 2.2).
+
+Expected shape: 1.2-4.0x slowdowns, ~2.6x on average.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.bench.harness import FigureResult
+from repro.engine.columnstore import ColumnTable
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.iosched import OverlapWindow
+from repro.util.units import GB
+from repro.workloads.tpch import QUERY_IDS, QUERY_SCANS, ROWS_PER_SF, SCHEMAS
+from repro.workloads.traces import TraceRecorder, replay_trace
+
+#: Trace events replayed per scanned column chunk during a query.
+REPLAY_RATE = 3
+
+LINEITEMS_PER_ORDER = 4
+
+
+def build_column_instance(scale: float, seed: int):
+    volume = StorageVolume(SimulatedDisk(capacity=4 * GB))
+    rng = random.Random(seed)
+    counts = {
+        name: (rows if name in ("nation", "region") else max(2, int(rows * scale)))
+        for name, rows in ROWS_PER_SF.items()
+    }
+    counts["lineitem"] = counts["orders"] * LINEITEMS_PER_ORDER
+    tables: dict[str, ColumnTable] = {}
+    for name, schema in SCHEMAS.items():
+        table = ColumnTable(name, schema, volume, capacity_rows=counts[name] + 64)
+        rows = _rows_for(name, counts, rng)
+        table.bulk_load(rows)
+        tables[name] = table
+    return tables, volume.device, rng
+
+
+def _rows_for(name: str, counts: dict, rng: random.Random):
+    n = counts[name]
+    if name == "region":
+        return [(i, f"REGION-{i}") for i in range(n)]
+    if name == "nation":
+        return [(i, i % counts["region"], f"NATION-{i}") for i in range(n)]
+    if name == "supplier":
+        return [(i, i % counts["nation"], 1.0 * i, f"Supplier-{i}") for i in range(n)]
+    if name == "customer":
+        return [(i, i % counts["nation"], 1.0 * i, "BUILDING") for i in range(n)]
+    if name == "part":
+        return [(i, 1 + i % 50, 900.0 + i, f"Brand#{i % 5}", "STEEL") for i in range(n)]
+    if name == "partsupp":
+        return [((i // 4) * 16 + i % 4, 1 + i % 9999, 1.0 + i % 999) for i in range(n)]
+    if name == "orders":
+        return [(i * 2, i % counts["customer"], i % 2200, 100.0 + i, "1-URGENT") for i in range(n)]
+    # lineitem
+    return [
+        (
+            (i // 4) * 16 + i % 4,
+            i % counts["part"],
+            i % counts["supplier"],
+            1 + i % 50,
+            900.0 + i,
+            0.05,
+            i % 2600,
+            f"li-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def record_update_trace(tables, device, rng, num_updates: int):
+    """Apply updates offline under a trace recorder (the paper's method)."""
+    orders = tables["orders"]
+    lineitem = tables["lineitem"]
+    order_keys = [k for k in range(0, orders.row_count * 2, 2)]
+    with TraceRecorder(device) as trace:
+        for _ in range(num_updates):
+            orderkey = rng.choice(order_keys)
+            if rng.random() < 0.5:
+                orders.modify_in_place(orderkey, {"o_totalprice": rng.uniform(1, 9)})
+            else:
+                line = rng.randrange(LINEITEMS_PER_ORDER)
+                try:
+                    lineitem.modify_in_place(
+                        (orderkey // 2) * 16 + line, {"l_quantity": 1}
+                    )
+                except Exception:
+                    continue
+    return trace.events
+
+
+def run(scale: float = 0.3, seed: int = 2, num_updates: int = 400) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 4",
+        title="TPC-H queries with emulated random updates on a column store "
+        "(normalized to the query without updates)",
+        row_label="query",
+        columns=["no updates", "query w/ updates"],
+    )
+    tables, device, rng = build_column_instance(scale, seed)
+    events = record_update_trace(tables, device, rng, num_updates)
+    device.reset_stats()
+
+    slowdowns = []
+    for qid in QUERY_IDS:
+        window = OverlapWindow({"disk": device})
+        with window:
+            _replay_columns(tables, qid)
+        t_query = window.elapsed
+
+        window = OverlapWindow({"disk": device})
+        with window:
+            _replay_columns(tables, qid, events)
+        t_mixed = window.elapsed
+
+        base = max(t_query, 1e-12)
+        result.add_row(
+            f"q{qid}",
+            **{"no updates": 1.0, "query w/ updates": t_mixed / base},
+        )
+        slowdowns.append(t_mixed / base)
+    result.note(
+        f"avg slowdown {sum(slowdowns) / len(slowdowns):.2f}x "
+        "(paper: 2.6x avg, 1.2-4.0x); update I/O emulated by replaying a "
+        "recorded trace with writes converted to reads"
+    )
+    return result
+
+
+def _replay_columns(tables, query_id: int, events=None) -> None:
+    """Scan each catalogued table column-wise, optionally interleaving the
+    replayed update trace (writes-as-reads).
+
+    The trace cycles, modelling a continuous online update stream for the
+    whole query duration (the paper replays its traces "outside of the DBMS
+    to emulate online updates").
+    """
+    event_iter = itertools.cycle(events) if events else None
+    device = next(iter(tables.values())).volume.device
+    for table_name, fraction in QUERY_SCANS[query_id]:
+        table = tables[table_name]
+        end_rid = max(0, int(table.row_count * fraction) - 1)
+        rows = 0
+        for _ in table.range_scan(0, end_rid):
+            rows += 1
+            if event_iter is not None and rows % 512 == 0:
+                replay_trace(itertools.islice(event_iter, REPLAY_RATE), device)
+        if event_iter is not None:
+            replay_trace(itertools.islice(event_iter, REPLAY_RATE), device)

@@ -1,0 +1,87 @@
+"""Section 4.2, "HDD as Update Cache": why the cache must be an SSD.
+
+MaSM with the update cache on a second magnetic disk (identical to the main
+disk) instead of an SSD.  The disk cache's poor random-read behaviour makes
+small range scans pay seconds of seeking for the per-run block reads — the
+paper measures 28.8x at 1 MB ranges and 4.7x at 10 MB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.figures.common import (
+    COARSE_BLOCK,
+    SSD_PAGE,
+    clamped_alpha,
+    build_rig,
+    fill_cache,
+    make_masm,
+    random_range,
+)
+from repro.bench.harness import FigureResult
+from repro.core.masm import MaSM, MaSMConfig
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.util.units import KB, MB, fmt_bytes
+
+RANGE_SIZES = [64 * KB, 256 * KB, 1 * MB, 4 * MB]  # scaled analogues of 1MB/10MB
+
+
+def run(scale: float = 1.0, seed: int = 17, repeats: int = 3) -> FigureResult:
+    result = FigureResult(
+        figure="Section 4.2 (HDD cache)",
+        title="MaSM with a disk-based update cache vs an SSD cache "
+        "(normalized to scans without updates)",
+        row_label="range size",
+        columns=["hdd cache", "ssd cache"],
+    )
+    rng = random.Random(seed)
+
+    # SSD-cache rig (the normal configuration).
+    ssd_rig = build_rig(scale=scale, seed=seed)
+    ssd_masm = make_masm(ssd_rig)
+    fill_cache(ssd_masm, ssd_rig, fraction=0.5, seed=seed)
+
+    # HDD-cache rig: a second SimulatedDisk replaces the SSD volume.
+    hdd_rig = build_rig(scale=scale, seed=seed)
+    cache_disk = SimulatedDisk(capacity=max(8 * MB, 4 * hdd_rig.cache_bytes))
+    hdd_rig.ssd = cache_disk  # measured as the "ssd" resource
+    hdd_rig.ssd_volume = StorageVolume(cache_disk)
+    config = MaSMConfig(
+        alpha=clamped_alpha(hdd_rig.cache_bytes, 1.0),
+        ssd_page_size=SSD_PAGE,
+        block_size=COARSE_BLOCK,
+        cache_bytes=hdd_rig.cache_bytes,
+        auto_migrate=False,
+    )
+    hdd_masm = MaSM(
+        hdd_rig.table,
+        hdd_rig.ssd_volume,
+        config=config,
+        oracle=hdd_rig.oracle,
+        cpu=hdd_rig.cpu,
+    )
+    fill_cache(hdd_masm, hdd_rig, fraction=0.5, seed=seed)
+
+    for size in RANGE_SIZES:
+        ranges = [random_range(ssd_rig, size, rng) for _ in range(repeats)]
+
+        def avg(rig, fn) -> float:
+            return sum(rig.measure(lambda b=b, e=e: rig.drain(fn(b, e))).elapsed
+                       for b, e in ranges) / len(ranges)
+
+        baseline = avg(ssd_rig, ssd_rig.table.range_scan)
+        result.add_row(
+            fmt_bytes(size),
+            **{
+                "hdd cache": avg(hdd_rig, hdd_masm.range_scan) / baseline,
+                "ssd cache": avg(ssd_rig, ssd_masm.range_scan) / baseline,
+            },
+        )
+    result.note(
+        "paper: 28.8x at 1MB and 4.7x at 10MB ranges with a disk cache — "
+        "random block reads per materialized run seek instead of flash-read; "
+        "the factor compresses with the scaled-down run count (paper: 128 runs)"
+    )
+    return result

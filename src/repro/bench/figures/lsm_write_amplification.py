@@ -1,0 +1,102 @@
+"""Section 2.3: why LSM-on-SSD fails the low-writes design goal.
+
+The analytic table reproduces the paper's arithmetic for 4 GB flash / 16 MB
+memory (ratio 256): a 2-level LSM writes every entry ~128 times, the optimal
+4-level one ~17 times, versus 1 for MaSM-2M and ~1.75 for MaSM-M.  A
+measured miniature LSM validates the model, and the measured MaSM engines
+validate theirs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lsm import LSMUpdateCache
+from repro.bench.figures.common import build_rig, make_masm
+from repro.bench.harness import FigureResult
+from repro.core import theory
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import GB, KB, MB
+from repro.workloads.synthetic import SyntheticUpdateGenerator
+
+PAPER_RATIO = (4 * GB) / (16 * MB)  # 256
+
+
+def run(scale: float = 1.0, seed: int = 23) -> FigureResult:
+    result = FigureResult(
+        figure="Section 2.3 (LSM)",
+        title="SSD writes per update record: LSM levels vs MaSM",
+        row_label="scheme",
+        columns=["analytic", "measured"],
+    )
+    for levels in (1, 2, 3, 4, 5):
+        result.add_row(
+            f"LSM h={levels}",
+            analytic=theory.lsm_writes_per_update(PAPER_RATIO, levels),
+        )
+    optimal = theory.lsm_optimal_levels(PAPER_RATIO)
+    result.note(
+        f"optimal LSM at ratio {PAPER_RATIO:.0f} has h={optimal} "
+        f"({theory.lsm_writes_per_update(PAPER_RATIO, optimal):.1f} writes "
+        "per entry - a ~17x SSD lifetime penalty vs MaSM-2M)"
+    )
+
+    # --- measured miniature LSM (ratio 16, 1 level: theory (r+1)/2 = 8.5) --
+    ratio = 16
+    lsm = _measured_lsm(ratio=ratio, updates=int(15000 * scale) + 4000, seed=seed)
+    result.add_row(
+        f"LSM h=1 (measured, r={ratio})",
+        analytic=theory.lsm_writes_per_update(ratio, 1),
+        measured=lsm.writes_per_update,
+    )
+
+    # --- measured MaSM ------------------------------------------------------
+    for alpha, label in ((2.0, "MaSM-2M"), (1.0, "MaSM-M")):
+        masm, measured = _measured_masm(alpha, scale, seed)
+        result.add_row(
+            label,
+            analytic=theory.masm_writes_per_update(alpha, M=masm.params.M),
+            measured=measured,
+        )
+    return result
+
+
+def _measured_lsm(ratio: int, updates: int, seed: int) -> LSMUpdateCache:
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=32 * MB))
+    table = Table.create(disk_vol, "t", _schema(), 2000)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(2000))
+    lsm = LSMUpdateCache(
+        table, ssd_vol, memory_bytes=4 * KB, levels=1, size_ratio=ratio,
+        block_size=4 * KB,
+    )
+    gen = SyntheticUpdateGenerator(num_records=2000, seed=seed)
+    for update in gen.stream(updates):
+        lsm.apply(update)
+    return lsm
+
+
+def _measured_masm(alpha: float, scale: float, seed: int):
+    rig = build_rig(scale=min(scale, 0.5), seed=seed)
+    masm = make_masm(rig, alpha=alpha)
+    gen = SyntheticUpdateGenerator(
+        num_records=rig.table.row_count, seed=seed, oracle=rig.oracle
+    )
+    # Worst-case-style pressure: a standing scan prevents page stealing, and
+    # periodic scans trigger the run-budget merges that create 2-pass runs.
+    standing = masm.range_scan(0, 2)
+    next(standing, None)
+    target = int(masm.cache_bytes * 0.9)
+    while masm.cached_run_bytes + masm.buffer.used_bytes < target:
+        masm.apply(gen.next_update())
+        if len(masm.runs) > masm.params.query_pages:
+            rig.drain(masm.range_scan(0, 2))
+    rig.drain(standing)
+    return masm, masm.stats.ssd_writes_per_update
+
+
+def _schema():
+    from repro.engine.record import synthetic_schema
+
+    return synthetic_schema()

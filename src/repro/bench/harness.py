@@ -1,0 +1,114 @@
+"""Experiment harness: result tables that mirror the paper's figures.
+
+Every figure driver in :mod:`repro.bench.figures` returns a
+:class:`FigureResult` — rows keyed like the paper's x-axis (range sizes,
+query ids, memory sizes), one column per scheme/series, plus free-form notes
+recording scaling substitutions.  ``format()`` renders the same rows the
+paper reports; ``series()`` feeds assertions in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure."""
+
+    figure: str  # e.g. "Figure 9"
+    title: str
+    row_label: str  # name of the x axis, e.g. "range size"
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[str, dict[str, float]]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------- building
+    def add_row(self, label: str, **values: float) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise BenchmarkError(
+                f"{self.figure}: columns {sorted(unknown)} not declared "
+                f"(have {self.columns})"
+            )
+        self.rows.append((str(label), dict(values)))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # -------------------------------------------------------------- queries
+    def series(self, column: str) -> list[float]:
+        """All values of one column, in row order (missing cells skipped)."""
+        if column not in self.columns:
+            raise BenchmarkError(f"{self.figure}: no column {column!r}")
+        return [values[column] for _, values in self.rows if column in values]
+
+    def cell(self, row_label: str, column: str) -> float:
+        for label, values in self.rows:
+            if label == str(row_label):
+                return values[column]
+        raise BenchmarkError(f"{self.figure}: no row {row_label!r}")
+
+    def row_labels(self) -> list[str]:
+        return [label for label, _ in self.rows]
+
+    # ------------------------------------------------------------ rendering
+    def format(self, precision: int = 2) -> str:
+        """Render an aligned text table (what the bench harness prints)."""
+        header = [self.row_label, *self.columns]
+        body: list[list[str]] = []
+        for label, values in self.rows:
+            row = [label]
+            for column in self.columns:
+                value = values.get(column)
+                row.append("-" if value is None else f"{value:.{precision}f}")
+            body.append(row)
+        widths = [
+            max(len(str(cells[i])) for cells in [header, *body])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow([self.row_label, *self.columns])
+        for label, values in self.rows:
+            writer.writerow(
+                [label, *(values.get(c, "") for c in self.columns)]
+            )
+        return out.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Divide values by a baseline (the paper's 'normalized to scans
+    without updates' convention)."""
+    if baseline <= 0:
+        raise BenchmarkError(f"baseline must be positive, got {baseline}")
+    return [v / baseline for v in values]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise BenchmarkError("geometric mean of no values")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise BenchmarkError("geometric mean needs positive values")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,535 @@
+"""The MaSM engine: SSD-cached differential updates with materialized
+sort-merge (Sections 3.2-3.4).
+
+One :class:`MaSM` instance manages the update cache for one table.  It owns
+
+* an in-memory update buffer of ``S`` pages (plus stolen query pages when no
+  scan is active — the MaSM-M trick that grows 1-pass runs);
+* materialized sorted runs on an SSD volume, each with a run index;
+* the scan-side operator tree that replaces ``Table_range_scan``;
+* in-place migration back to the main data.
+
+The memory/SSD-writes trade-off is a single knob: ``alpha``.
+``MaSM.masm_2m`` (alpha=2) writes every update once; ``MaSM.masm_m``
+(alpha=1) halves memory at ~1.75 writes per update (Theorems 3.2/3.3).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.membuffer import InMemoryUpdateBuffer
+from repro.core.operators import MemScan, MergeDataUpdates, MergeUpdates, RunScan
+from repro.core.runindex import COARSE_GRANULARITY
+from repro.core.sortedrun import MaterializedSortedRun, write_run
+from repro.core.update import (
+    UpdateCodec,
+    UpdateConflictError,
+    UpdateRecord,
+    UpdateType,
+    combine,
+)
+from repro.engine.table import Table
+from repro.errors import OutOfSpaceError, UpdateCacheFullError
+from repro.storage.file import StorageVolume
+from repro.storage.iosched import CpuMeter
+from repro.txn.timestamps import TimestampOracle
+from repro.util.units import KB
+
+DEFAULT_SSD_PAGE = 64 * KB
+
+
+@dataclass
+class MaSMConfig:
+    """Tunables for one MaSM instance.
+
+    ``alpha`` selects the point on the memory-vs-SSD-writes spectrum of
+    Section 3.4 (valid range [2/cbrt(M), 2]).  ``block_size`` is the run
+    index granularity: 64 KB reproduces the paper's coarse-grain index,
+    4 KB the fine-grain one.
+    """
+
+    alpha: float = 1.0
+    ssd_page_size: int = DEFAULT_SSD_PAGE
+    block_size: int = COARSE_GRANULARITY
+    cache_bytes: Optional[int] = None  # default: the whole SSD volume
+    migration_threshold: float = 0.9
+    auto_migrate: bool = True
+    merge_duplicates_on_flush: bool = False
+
+
+@dataclass
+class MaSMParameters:
+    """Derived sizing, following the notation of Table 1 in the paper."""
+
+    ssd_pages: int  # ||SSD||
+    M: int  # sqrt(||SSD||), in pages
+    total_memory_pages: int  # alpha * M
+    update_pages: int  # S
+    query_pages: int  # total - S
+    merge_fan_in: int  # N
+
+    @property
+    def memory_bytes_per_page(self) -> int:  # pragma: no cover - alias
+        return DEFAULT_SSD_PAGE
+
+
+def derive_parameters(
+    cache_bytes: int, ssd_page_size: int, alpha: float
+) -> MaSMParameters:
+    """Compute M, S, N for a cache size and alpha (Theorems 3.2/3.3)."""
+    ssd_pages = max(1, cache_bytes // ssd_page_size)
+    M = max(2, math.isqrt(ssd_pages))
+    alpha_min = 2.0 / (M ** (1.0 / 3.0))
+    if not alpha_min * 0.99 <= alpha <= 2.0:
+        raise ValueError(
+            f"alpha={alpha} outside [{alpha_min:.3f}, 2] for M={M} "
+            "(3-pass runs would be needed below the lower bound)"
+        )
+    total = max(2, round(alpha * M))
+    S = max(1, round(0.5 * alpha * M))
+    query_pages = max(1, total - S)
+    denom = max(1, math.floor(4.0 / (alpha * alpha)))
+    N = round(((2.0 / alpha - 0.5 * alpha) * M) / denom) + 1
+    N = max(1, min(N, query_pages))
+    return MaSMParameters(
+        ssd_pages=ssd_pages,
+        M=M,
+        total_memory_pages=total,
+        update_pages=S,
+        query_pages=query_pages,
+        merge_fan_in=N,
+    )
+
+
+@dataclass
+class MaSMStats:
+    """Counters behind the design-goal analysis of Section 3.7."""
+
+    updates_ingested: int = 0
+    updates_written_to_ssd: int = 0  # counts re-writes during run merges
+    runs_created: int = 0
+    runs_merged: int = 0
+    flushes: int = 0
+    migrations: int = 0
+    page_steals: int = 0
+    duplicates_merged: int = 0
+
+    @property
+    def ssd_writes_per_update(self) -> float:
+        """Average times each ingested update was written to the SSD."""
+        if self.updates_ingested == 0:
+            return 0.0
+        return self.updates_written_to_ssd / self.updates_ingested
+
+
+class MaSM:
+    """SSD-based differential update cache for one table."""
+
+    def __init__(
+        self,
+        table: Table,
+        ssd_volume: StorageVolume,
+        config: Optional[MaSMConfig] = None,
+        oracle: Optional[TimestampOracle] = None,
+        cpu: Optional[CpuMeter] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.table = table
+        self.ssd = ssd_volume
+        self.config = config or MaSMConfig()
+        self.oracle = oracle or TimestampOracle()
+        self.cpu = cpu if cpu is not None else table.cpu
+        self.name = name or f"masm-{table.name}"
+        cache_bytes = self.config.cache_bytes or ssd_volume.device.capacity
+        self.params = derive_parameters(
+            cache_bytes, self.config.ssd_page_size, self.config.alpha
+        )
+        # The algorithms' accounting is in terms of ||SSD|| = M^2 pages
+        # (Table 1); cap the usable cache there so the worst-case analysis
+        # of Theorems 3.2/3.3 holds exactly.
+        self.cache_bytes = min(
+            cache_bytes, self.params.M * self.params.M * self.config.ssd_page_size
+        )
+        self.codec = UpdateCodec(table.schema)
+        page = self.config.ssd_page_size
+        self.buffer = InMemoryUpdateBuffer(
+            table.schema, capacity_bytes=self.params.update_pages * page
+        )
+        self.runs: list[MaterializedSortedRun] = []  # creation order
+        self._runs_by_flush_epoch: dict[int, MaterializedSortedRun] = {}
+        self.stats = MaSMStats()
+        self._run_seq = 0
+        self._active_scans: dict[int, int] = {}  # scan id -> query timestamp
+        self._scan_seq = 0
+        self._lock = threading.RLock()
+        self._migrate_hook = None  # installed by attach_migrator()
+        self._graveyard: list[tuple[MaterializedSortedRun, int]] = []
+        self.redo_log = None  # installed by attach_log()
+        #: Commit timestamp of the newest ingested update (freshness marker
+        #: for lazily maintained views, Section 5).
+        self.last_update_ts = 0
+
+    def attach_log(self, redo_log) -> None:
+        """Enable write-ahead logging of incoming updates (Section 3.6).
+
+        Every ingested update is logged before it enters the in-memory
+        buffer, so crash recovery (:mod:`repro.txn.recovery`) can rebuild
+        the buffer; run flushes and migrations are logged too.
+        """
+        redo_log.register_table(self.table.name, self.codec)
+        self.redo_log = redo_log
+
+    # --------------------------------------------------------------- sizing
+    @property
+    def ssd_page_size(self) -> int:
+        return self.config.ssd_page_size
+
+    @property
+    def cached_run_bytes(self) -> int:
+        with self._lock:
+            return sum(run.size_bytes for run in self.runs)
+
+    @property
+    def utilization(self) -> float:
+        return self.cached_run_bytes / self.cache_bytes
+
+    @property
+    def memory_bytes(self) -> int:
+        """Allocated memory: alpha*M pages plus the in-memory run indexes."""
+        with self._lock:
+            indexes = sum(run.index.memory_bytes for run in self.runs)
+        return self.params.total_memory_pages * self.ssd_page_size + indexes
+
+    @property
+    def one_pass_runs(self) -> int:
+        with self._lock:
+            return sum(1 for r in self.runs if r.passes == 1)
+
+    @property
+    def multi_pass_runs(self) -> int:
+        with self._lock:
+            return sum(1 for r in self.runs if r.passes > 1)
+
+    @property
+    def active_scan_count(self) -> int:
+        with self._lock:
+            return len(self._active_scans)
+
+    def oldest_active_query_ts(self) -> Optional[int]:
+        with self._lock:
+            return min(self._active_scans.values(), default=None)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, record: tuple) -> int:
+        """Cache an insertion of ``record``; returns its commit timestamp."""
+        ts = self.oracle.next()
+        self.apply(
+            UpdateRecord(ts, self.table.schema.key(record), UpdateType.INSERT, record)
+        )
+        return ts
+
+    def delete(self, key: int) -> int:
+        """Cache a deletion of ``key``; returns its commit timestamp."""
+        ts = self.oracle.next()
+        self.apply(UpdateRecord(ts, key, UpdateType.DELETE, None))
+        return ts
+
+    def modify(self, key: int, changes: dict) -> int:
+        """Cache field modifications for ``key``; returns the timestamp."""
+        ts = self.oracle.next()
+        self.apply(UpdateRecord(ts, key, UpdateType.MODIFY, dict(changes)))
+        return ts
+
+    def apply(self, update: UpdateRecord) -> None:
+        """Ingest a well-formed update that already has a timestamp."""
+        with self._lock:
+            if self.redo_log is not None:
+                self.redo_log.log_update(self.table.name, update)
+            if self.buffer.would_overflow(update):
+                self._handle_full_buffer()
+            self.buffer.append(update)
+            self.stats.updates_ingested += 1
+            self.last_update_ts = max(self.last_update_ts, update.timestamp)
+
+    def _handle_full_buffer(self) -> None:
+        page = self.ssd_page_size
+        total = self.params.total_memory_pages * page
+        # Steal an unused query page to grow the 1-pass run (Figure 8, lines
+        # 2-3): only legal while no scan needs its query pages.
+        if not self._active_scans and self.buffer.capacity_bytes + page <= total:
+            self.buffer.capacity_bytes += page
+            self.stats.page_steals += 1
+            return
+        self.flush_buffer()
+
+    # --------------------------------------------------------------- flushes
+    def flush_buffer(self) -> Optional[MaterializedSortedRun]:
+        """Materialize the in-memory buffer as a 1-pass sorted run."""
+        with self._lock:
+            if self.buffer.count == 0:
+                return None
+            updates = self.buffer.drain_sorted()
+            flush_epoch = self.buffer.flush_epoch
+            # Reset any stolen pages: the buffer returns to S pages.
+            self.buffer.capacity_bytes = (
+                self.params.update_pages * self.ssd_page_size
+            )
+            if self.config.merge_duplicates_on_flush:
+                updates = self._merge_duplicates(updates)
+            # Migrate first if this flush would push the cache past the
+            # threshold ("updates reach a certain threshold of the SSD size").
+            if self.config.auto_migrate and self.runs:
+                projected = self.cached_run_bytes + sum(
+                    self.codec.encoded_size(u) for u in updates
+                )
+                if projected >= self.config.migration_threshold * self.cache_bytes:
+                    self.migrate()
+            run = self._write_run(updates, passes=1)
+            self._runs_by_flush_epoch[flush_epoch] = run
+            self.stats.flushes += 1
+            if self.redo_log is not None:
+                self.redo_log.log_run_flush(self.table.name, run.name, run.max_ts)
+            return run
+
+    def _merge_duplicates(self, updates: list[UpdateRecord]) -> list[UpdateRecord]:
+        """Combine same-key duplicates when no concurrent scan forbids it.
+
+        Section 3.5: updates at t1 < t2 may merge only if no concurrent scan
+        has a timestamp t with t1 < t <= t2.  With the oldest active query
+        timestamp as the cut, everything newer stays separate.
+        """
+        with self._lock:
+            scan_timestamps = sorted(self._active_scans.values())
+
+        def may_merge(t1: int, t2: int) -> bool:
+            return not any(t1 < t <= t2 for t in scan_timestamps)
+
+        merged: list[UpdateRecord] = []
+        for update in updates:  # already (key, ts) sorted
+            if (
+                merged
+                and merged[-1].key == update.key
+                and may_merge(merged[-1].timestamp, update.timestamp)
+            ):
+                try:
+                    merged[-1] = combine(merged[-1], update, self.table.schema)
+                    self.stats.duplicates_merged += 1
+                    continue
+                except UpdateConflictError:
+                    pass  # uncombinable chain: keep both records
+            merged.append(update)
+        return merged
+
+    def _write_run(
+        self,
+        updates: list[UpdateRecord],
+        passes: int,
+        size_hint: Optional[int] = None,
+        replacing_bytes: int = 0,
+    ) -> MaterializedSortedRun:
+        """Materialize ``updates`` as a run, enforcing the cache quota.
+
+        ``replacing_bytes`` credits the size of runs this write supersedes
+        (a 2-pass merge deletes its inputs right after), so merging near a
+        full cache does not trip the quota.
+        """
+        name = f"{self.name}-run-{self._run_seq:05d}"
+        self._run_seq += 1
+        new_bytes = sum(self.codec.encoded_size(u) for u in updates)
+        if self.cached_run_bytes - replacing_bytes + new_bytes > self.cache_bytes:
+            raise UpdateCacheFullError(
+                f"{self.name}: SSD update cache full "
+                f"({self.cached_run_bytes}/{self.cache_bytes} bytes); migrate first"
+            )
+        try:
+            run = write_run(
+                self.ssd,
+                name,
+                updates,
+                self.codec,
+                block_size=self.config.block_size,
+                passes=passes,
+                size_hint=size_hint,
+            )
+        except OutOfSpaceError as exc:
+            raise UpdateCacheFullError(str(exc)) from exc
+        self.runs.append(run)
+        self.stats.runs_created += 1
+        self.stats.updates_written_to_ssd += run.count
+        return run
+
+    # ----------------------------------------------------------- run merging
+    def _ensure_run_budget(self) -> None:
+        """Merge earliest 1-pass runs until K1 + K2 <= query pages (Fig. 8)."""
+        while len(self.runs) > self.params.query_pages:
+            self._merge_earliest_runs(self.params.merge_fan_in)
+
+    def _merge_earliest_runs(self, fan_in: int) -> MaterializedSortedRun:
+        with self._lock:
+            one_pass = [r for r in self.runs if r.passes == 1]
+            if len(one_pass) >= 2:
+                victims = one_pass[: max(2, min(fan_in, len(one_pass)))]
+                passes = 2
+            else:
+                # Degenerate fallback: merge the two earliest runs whatever
+                # their pass count (would be a 3-pass run; the alpha lower
+                # bound exists precisely to make this unnecessary).
+                victims = self.runs[:2]
+                passes = max(r.passes for r in victims) + 1
+            merged_stream = MergeUpdatesPreservingDuplicates(victims)
+            size_hint = sum(r.file.size for r in victims) + self.config.block_size
+            run = self._write_run(
+                list(merged_stream),
+                passes=passes,
+                size_hint=size_hint,
+                replacing_bytes=sum(r.size_bytes for r in victims),
+            )
+            for victim in victims:
+                self.runs.remove(victim)
+                self.ssd.delete(victim.name)
+            self.stats.runs_merged += len(victims)
+            return run
+
+    # ------------------------------------------------------------------ scans
+    def range_scan(
+        self, begin_key: int, end_key: int, query_ts: Optional[int] = None
+    ) -> Iterator[tuple]:
+        """The MaSM replacement for Table_range_scan (Figure 6/8).
+
+        Returns fresh records: the table data merged with every cached
+        update visible at the query's timestamp.  ``query_ts`` overrides the
+        timestamp (snapshot-isolation reads at a transaction's start time);
+        by default the query gets the next timestamp and sees all earlier
+        updates.
+        """
+        with self._lock:
+            # Flush a too-full buffer before the scan pins query pages.
+            if self.buffer.pages_used(self.ssd_page_size) >= self.params.update_pages:
+                self.flush_buffer()
+            self._ensure_run_budget()
+            if query_ts is None:
+                query_ts = self.oracle.next()
+            scan_id = self._scan_seq
+            self._scan_seq += 1
+            self._active_scans[scan_id] = query_ts
+            runs = list(self.runs)
+
+        def stream() -> Iterator[tuple]:
+            try:
+                update_sources: list = [
+                    RunScan(run, begin_key, end_key, query_ts) for run in runs
+                ]
+                update_sources.append(
+                    MemScan(
+                        self.buffer,
+                        begin_key,
+                        end_key,
+                        query_ts,
+                        run_for_flush=self._run_for_flush,
+                    )
+                )
+                updates = MergeUpdates(update_sources, self.table.schema, cpu=self.cpu)
+                data = self.table.range_scan_pairs(begin_key, end_key)
+                yield from MergeDataUpdates(
+                    data, updates, self.table.schema, cpu=self.cpu
+                )
+            finally:
+                with self._lock:
+                    self._active_scans.pop(scan_id, None)
+                    self._gc_graveyard()
+
+        return stream()
+
+    def _run_for_flush(self, flush_epoch: int) -> Optional[MaterializedSortedRun]:
+        with self._lock:
+            return self._runs_by_flush_epoch.get(flush_epoch)
+
+    # -------------------------------------------------------------- migration
+    def attach_migrator(self, migrate_fn) -> None:
+        """Install the migration strategy (see repro.core.migration)."""
+        self._migrate_hook = migrate_fn
+
+    def migrate(self) -> None:
+        """Migrate all cached updates back into the main data in place."""
+        from repro.core.migration import migrate_all
+
+        with self._lock:
+            if self._migrate_hook is not None:
+                self._migrate_hook(self)
+            else:
+                migrate_all(self, redo_log=self.redo_log)
+            self.stats.migrations += 1
+
+    def retire_runs(
+        self, runs: list[MaterializedSortedRun], barrier_ts: Optional[int] = None
+    ) -> None:
+        """Remove migrated runs; delete their SSD space when safe.
+
+        A run stays in a graveyard while any in-flight scan started before
+        ``barrier_ts`` might still read it (the migration thread's "wait for
+        ongoing queries earlier than t" of Section 3.2).
+        """
+        with self._lock:
+            for run in runs:
+                if run not in self.runs:
+                    continue
+                self.runs.remove(run)
+                oldest = self.oldest_active_query_ts()
+                if barrier_ts is not None and oldest is not None and oldest < barrier_ts:
+                    self._graveyard.append((run, barrier_ts))
+                else:
+                    self.ssd.delete(run.name)
+            self._runs_by_flush_epoch = {
+                epoch: run
+                for epoch, run in self._runs_by_flush_epoch.items()
+                if run in self.runs
+            }
+
+    def _gc_graveyard(self) -> None:
+        """Delete retired runs once no scan older than their barrier remains."""
+        with self._lock:
+            oldest = self.oldest_active_query_ts()
+            survivors: list[tuple[MaterializedSortedRun, int]] = []
+            for run, barrier_ts in self._graveyard:
+                if oldest is not None and oldest < barrier_ts:
+                    survivors.append((run, barrier_ts))
+                else:
+                    self.ssd.delete(run.name)
+            self._graveyard = survivors
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def masm_2m(cls, table: Table, ssd_volume: StorageVolume, **kwargs) -> "MaSM":
+        """MaSM-2M: minimal SSD writes (1 per update) with 2M memory."""
+        config = kwargs.pop("config", None) or MaSMConfig(alpha=2.0)
+        config.alpha = 2.0
+        return cls(table, ssd_volume, config=config, **kwargs)
+
+    @classmethod
+    def masm_m(cls, table: Table, ssd_volume: StorageVolume, **kwargs) -> "MaSM":
+        """MaSM-M: M memory at ~1.75 SSD writes per update."""
+        config = kwargs.pop("config", None) or MaSMConfig(alpha=1.0)
+        config.alpha = 1.0
+        return cls(table, ssd_volume, config=config, **kwargs)
+
+
+class MergeUpdatesPreservingDuplicates:
+    """Merges runs keeping every update record (for 2-pass run creation).
+
+    Unlike :class:`MergeUpdates`, same-key updates are *not* combined: the
+    merged run must still serve queries with timestamps between the updates.
+    """
+
+    def __init__(self, runs: list[MaterializedSortedRun]) -> None:
+        self.runs = runs
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        import heapq
+
+        full_range = (0, 2**63 - 1)
+        streams = [run.scan(*full_range) for run in self.runs]
+        return iter(heapq.merge(*streams, key=UpdateRecord.sort_key))

@@ -1,0 +1,408 @@
+"""In-place migration of cached updates back to the main data (Section 3.2).
+
+Full migration performs a table scan whose output is written back to disk:
+pages stream in with large sequential reads, cached updates merge in (an
+outer join in page mode), and rebuilt pages stream out with large sequential
+writes *behind* the read frontier — in place, without a second copy of the
+data (design goal 4).  Every rebuilt page carries the timestamp of the last
+update applied to it, which is what lets concurrent and later queries decide
+whether a cached update is already reflected in a page.
+
+Partial migration (Section 3.5's "migrate a portion of updates at a time")
+applies a key range with page-granular read-modify-writes, marking migrated
+ranges on each run; a page that cannot absorb its insertions is skipped
+whole (all-or-nothing per page) so the timestamp rule stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.core.operators import MergeUpdates
+from repro.core.update import UpdateRecord, UpdateType, apply_update
+from repro.engine.heapfile import DEFAULT_FILL_FACTOR
+from repro.engine.page import SlottedPage
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.masm import MaSM
+
+
+@dataclass
+class MigrationStats:
+    """Outcome of one migration operation."""
+
+    timestamp: int
+    pages_read: int = 0
+    pages_written: int = 0
+    updates_applied: int = 0
+    inserts_deferred: int = 0  # partial migration: inserts left cached
+    rows_after: int = 0
+    runs_retired: int = 0
+
+
+def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
+    """Migrate every cached run into the table, rewriting it in place."""
+    table = masm.table
+    heap = table.heap
+    schema = table.schema
+    runs = list(masm.runs)
+    if not runs:
+        return None
+    t = masm.oracle.next()
+    if redo_log is not None:
+        redo_log.log_migration_start(t, [run.name for run in runs])
+
+    full = (0, 2**63 - 1)
+    updates = iter(
+        MergeUpdates(
+            [run.scan(*full, query_ts=t) for run in runs], schema, cpu=masm.cpu
+        )
+    )
+    stats = MigrationStats(timestamp=t)
+    stats.rows_after, entries, out_pages = rewrite_heap_with_updates(
+        heap, schema, updates, stats
+    )
+    heap.truncate(out_pages)
+    table.replace_contents(entries, stats.rows_after)
+    if redo_log is not None:
+        redo_log.log_migration_end(t)
+    masm.retire_runs(runs, barrier_ts=t)
+    stats.runs_retired = len(runs)
+    return stats
+
+
+def rewrite_heap_with_updates(
+    heap, schema, updates: Iterator[UpdateRecord], stats: MigrationStats
+) -> tuple[int, list[tuple[int, int]], int]:
+    """Stream-rewrite the heap applying ``updates``; in-place write-behind.
+
+    Returns (row_count, sparse index entries, output page count).
+    """
+    generator = rewrite_heap_streaming(heap, schema, updates, stats)
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
+def rewrite_heap_streaming(
+    heap, schema, updates: Iterator[UpdateRecord], stats: MigrationStats
+):
+    """Generator form of the in-place rewrite: yields every output record.
+
+    This is what makes the "combine the migration with a table scan query"
+    optimization of Section 3.5 possible — a query can consume the merged
+    record stream while the very same pass writes the pages back.  Returns
+    (row_count, sparse index entries, output page count) as the generator's
+    value.
+    """
+    page_size = heap.page_size
+    budget = int((page_size - 24) * DEFAULT_FILL_FACTOR)
+    chunk_pages = heap.pages_per_chunk
+
+    out_chunk: list[SlottedPage] = []
+    entries: list[tuple[int, int]] = []
+    rows = 0
+    read_frontier = 0  # input pages consumed
+    write_frontier = 0  # output pages written
+
+    current = SlottedPage(page_size)
+    current_used = 0
+    current_first_key: Optional[int] = None
+
+    def close_current() -> None:
+        nonlocal current, current_used, current_first_key
+        entries.append(
+            (current_first_key if current_first_key is not None else 0,
+             write_frontier + len(out_chunk))
+        )
+        out_chunk.append(current)
+        current = SlottedPage(page_size)
+        current_used = 0
+        current_first_key = None
+
+    def flush_out(force: bool = False) -> None:
+        """Write buffered output pages behind the read frontier.
+
+        In-place safety: a non-forced flush never writes a page the scan has
+        not read yet.  A forced flush (input exhausted) may extend into the
+        file's slack capacity.
+        """
+        nonlocal write_frontier
+        while out_chunk:
+            count = min(chunk_pages, len(out_chunk))
+            if not force:
+                if len(out_chunk) < chunk_pages:
+                    return
+                if write_frontier + count > read_frontier:
+                    return  # would overwrite unread input: wait for reads
+            batch = out_chunk[:count]
+            del out_chunk[:count]
+            heap.write_pages_sequential(write_frontier, batch)
+            write_frontier += count
+            stats.pages_written += count
+
+    def emit(record: tuple, ts: int) -> None:
+        nonlocal current_used, current_first_key, rows
+        data = schema.pack(record)
+        cost = len(data) + 8
+        if current_used + cost > budget or not current.fits(len(data)):
+            close_current()
+            flush_out()
+        current.insert(data)
+        current.timestamp = max(current.timestamp, ts)
+        current_used += cost
+        if current_first_key is None:
+            current_first_key = schema.key(record)
+        rows += 1
+
+    update = next(updates, None)
+    total_pages = heap.num_pages
+    for page_no, page in heap.scan_pages(0, total_pages - 1):
+        read_frontier = page_no + 1
+        stats.pages_read += 1
+        page_ts = page.timestamp
+        records = sorted(
+            (schema.unpack(data) for _, data in page.records()), key=schema.key
+        )
+        for record in records:
+            key = schema.key(record)
+            while update is not None and update.key < key:
+                produced = apply_update(None, update, schema)
+                if produced is not None:
+                    emit(produced, update.timestamp)
+                    yield produced
+                stats.updates_applied += 1
+                update = next(updates, None)
+            if update is not None and update.key == key:
+                if update.timestamp > page_ts:
+                    produced = apply_update(record, update, schema)
+                    if produced is not None:
+                        emit(produced, max(page_ts, update.timestamp))
+                        yield produced
+                else:
+                    emit(record, page_ts)
+                    yield record
+                stats.updates_applied += 1
+                update = next(updates, None)
+            else:
+                emit(record, page_ts)
+                yield record
+        flush_out()
+    while update is not None:
+        produced = apply_update(None, update, schema)
+        if produced is not None:
+            emit(produced, update.timestamp)
+            yield produced
+        stats.updates_applied += 1
+        update = next(updates, None)
+    if current.slot_count or not entries:
+        close_current()
+    read_frontier = max(read_frontier, total_pages)
+    flush_out(force=True)
+    return rows, entries, write_frontier
+
+
+class CoordinatedMigration:
+    """Migration combined with a table-scan query (Section 3.5).
+
+    "We can combine the migration with a table scan query in order to avoid
+    the cost of performing a table scan for migration purposes only."
+    Iterating this object yields the full, fresh record stream (exactly what
+    a full-table ``range_scan`` would return) while the same pass rewrites
+    the data pages in place.  ``stats`` is populated once iteration ends.
+    """
+
+    def __init__(self, masm: "MaSM", redo_log=None) -> None:
+        self.masm = masm
+        self.redo_log = redo_log
+        self.stats: Optional[MigrationStats] = None
+
+    def __iter__(self):
+        masm = self.masm
+        table = masm.table
+        schema = table.schema
+        # Flush the in-memory buffer first so the combined scan is fully
+        # fresh (it merges exactly the materialized runs being migrated).
+        masm.flush_buffer()
+        runs = list(masm.runs)
+        if not runs:
+            # Nothing cached: degrade to a plain fresh scan.
+            yield from masm.range_scan(*table.full_key_range())
+            return
+        t = masm.oracle.next()
+        if self.redo_log is not None:
+            self.redo_log.log_migration_start(t, [run.name for run in runs])
+        full = (0, 2**63 - 1)
+        updates = iter(
+            MergeUpdates(
+                [run.scan(*full, query_ts=t) for run in runs],
+                schema,
+                cpu=masm.cpu,
+            )
+        )
+        stats = MigrationStats(timestamp=t)
+        generator = rewrite_heap_streaming(table.heap, schema, updates, stats)
+        rows, entries, out_pages = yield from generator
+        stats.rows_after = rows
+        table.heap.truncate(out_pages)
+        table.replace_contents(entries, rows)
+        if self.redo_log is not None:
+            self.redo_log.log_migration_end(t)
+        masm.retire_runs(runs, barrier_ts=t)
+        stats.runs_retired = len(runs)
+        masm.stats.migrations += 1
+        self.stats = stats
+
+
+def migrate_range(
+    masm: "MaSM", begin_key: int, end_key: int, redo_log=None
+) -> Optional[MigrationStats]:
+    """Migrate only updates with keys in [begin, end] (Section 3.5).
+
+    Pages are updated with read-modify-writes in page order.  A page whose
+    insertions do not fit is left untouched (its updates stay cached), so
+    page timestamps never claim an unapplied update.  Runs whose whole key
+    range has been migrated are retired.
+    """
+    table = masm.table
+    schema = table.schema
+    runs = [
+        run
+        for run in masm.runs
+        if run.min_key <= end_key and run.max_key >= begin_key
+    ]
+    if not runs or table.index.is_empty:
+        return None
+    t = masm.oracle.next()
+    if redo_log is not None:
+        redo_log.log_migration_start(
+            t, [run.name for run in runs], key_range=(begin_key, end_key)
+        )
+    updates = iter(
+        MergeUpdates(
+            [run.scan(begin_key, end_key, query_ts=t) for run in runs],
+            schema,
+            cpu=masm.cpu,
+        )
+    )
+    stats = MigrationStats(timestamp=t)
+    failed_spans: list[tuple[int, int]] = []
+    update = next(updates, None)
+    heap = table.heap
+    index = table.index
+    row_delta = 0
+    while update is not None:
+        page_no = index.locate_page(update.key)
+        page_span = _page_key_span(table, page_no, end_key)
+        page_updates = []
+        while update is not None and update.key <= page_span[1]:
+            page_updates.append(update)
+            update = next(updates, None)
+        page = heap.read_page(page_no)
+        stats.pages_read += 1
+        applied, delta = _apply_to_page(page, page_updates, schema)
+        if applied is None:
+            failed_spans.append(page_span)
+            stats.inserts_deferred += sum(
+                1 for u in page_updates if u.type in (UpdateType.INSERT, UpdateType.REPLACE)
+            )
+            continue
+        heap.write_page(page_no, applied)
+        stats.pages_written += 1
+        stats.updates_applied += len(page_updates)
+        row_delta += delta
+    table.row_count += row_delta
+    stats.rows_after = table.row_count
+    migrated = _subtract_spans((begin_key, end_key), failed_spans)
+    fully_retired = []
+    lo, hi = table.full_key_range()
+    for run in runs:
+        for span in migrated:
+            run.mark_migrated(*span)
+        if run.fully_migrated(run.min_key, run.max_key):
+            fully_retired.append(run)
+    if redo_log is not None:
+        redo_log.log_migration_end(t)
+    if fully_retired:
+        masm.retire_runs(fully_retired, barrier_ts=t)
+    stats.runs_retired = len(fully_retired)
+    return stats
+
+
+def _page_key_span(table, page_no: int, end_key: int) -> tuple[int, int]:
+    """Key interval [first_key, last] a page is responsible for."""
+    entries = table.index.entries()
+    for i, (first_key, number) in enumerate(entries):
+        if number == page_no:
+            if i + 1 < len(entries):
+                return first_key, min(entries[i + 1][0] - 1, end_key)
+            return first_key, end_key
+    raise StorageError(f"page {page_no} not in sparse index")
+
+
+def _apply_to_page(
+    page: SlottedPage, updates: list[UpdateRecord], schema
+) -> tuple[Optional[SlottedPage], int]:
+    """Apply updates to a copy of ``page``; None if an insert can't fit.
+
+    Returns (new_page_or_None, row_count_delta).
+    """
+    working = SlottedPage.from_bytes(page.to_bytes())
+    delta = 0
+    max_ts = working.timestamp
+    for update in updates:
+        if update.timestamp <= page.timestamp:
+            continue  # already applied by an earlier (partial) migration
+        slot = _find_slot(working, schema, update.key)
+        result = apply_update(
+            None if slot is None else schema.unpack(working.get(slot)),
+            update,
+            schema,
+        )
+        if result is None:
+            if slot is not None:
+                working.delete(slot)
+                delta -= 1
+            # Deleting an absent record is a no-op (already migrated).
+        else:
+            data = schema.pack(result)
+            if slot is not None:
+                working.replace(slot, data)
+            else:
+                if not working.fits(len(data)):
+                    working.compact()
+                if not working.fits(len(data)):
+                    return None, 0  # all-or-nothing per page
+                working.insert(data)
+                delta += 1
+        max_ts = max(max_ts, update.timestamp)
+    working.timestamp = max_ts
+    return working, delta
+
+
+def _find_slot(page: SlottedPage, schema, key: int) -> Optional[int]:
+    for slot, data in page.records():
+        if schema.key(schema.unpack(data)) == key:
+            return slot
+    return None
+
+
+def _subtract_spans(
+    whole: tuple[int, int], holes: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """The parts of ``whole`` not covered by ``holes`` (for migrated marks)."""
+    spans = []
+    cursor = whole[0]
+    for lo, hi in sorted(holes):
+        if lo > cursor:
+            spans.append((cursor, min(lo - 1, whole[1])))
+        cursor = max(cursor, hi + 1)
+        if cursor > whole[1]:
+            break
+    if cursor <= whole[1]:
+        spans.append((cursor, whole[1]))
+    return spans

@@ -1,0 +1,174 @@
+"""MaSM's scan-side operators (Figure 6):
+
+* :class:`RunScan`    — streams one materialized sorted run, narrowed by its
+  run index;
+* :class:`MemScan`    — streams the in-memory buffer and survives concurrent
+  re-sorts and flushes by handing over to a Run_scan;
+* :class:`MergeUpdates` — merges many (key, ts)-ordered update streams and
+  combines same-key updates;
+* :class:`MergeDataUpdates` — the outer join of the table range scan with the
+  combined update stream, using page timestamps to skip already-applied
+  updates (what makes in-place migration safe, Section 3.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.core.membuffer import BufferFlushed, InMemoryUpdateBuffer
+from repro.core.sortedrun import MaterializedSortedRun
+from repro.core.update import UpdateRecord, apply_update, combine_chain
+from repro.engine.record import Schema
+from repro.storage.iosched import MERGE_CPU_PER_UPDATE, CpuMeter
+
+
+class RunScan:
+    """Iterates one materialized run for a query's key range and timestamp."""
+
+    def __init__(
+        self,
+        run: MaterializedSortedRun,
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int] = None,
+    ) -> None:
+        self.run = run
+        self.begin_key = begin_key
+        self.end_key = end_key
+        self.query_ts = query_ts
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return self.run.scan(self.begin_key, self.end_key, self.query_ts)
+
+
+class MemScan:
+    """Iterates the in-memory buffer; hands over to a run on flush.
+
+    ``run_for_flush`` maps a flush epoch to the materialized run that flush
+    produced, so the scan can continue exactly where it stopped (Section 3.2:
+    "Mem_scan will instantiate a Run_scan operator for the new materialized
+    sorted run and replaces itself").
+    """
+
+    def __init__(
+        self,
+        buffer: InMemoryUpdateBuffer,
+        begin_key: int,
+        end_key: int,
+        query_ts: int,
+        run_for_flush: Optional[Callable[[int], Optional[MaterializedSortedRun]]] = None,
+    ) -> None:
+        self.buffer = buffer
+        self.begin_key = begin_key
+        self.end_key = end_key
+        self.query_ts = query_ts
+        self.run_for_flush = run_for_flush
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        cursor = self.buffer.cursor(self.begin_key, self.end_key, self.query_ts)
+        while True:
+            try:
+                update = next(cursor)
+            except StopIteration:
+                return
+            except BufferFlushed as flushed:
+                if self.run_for_flush is None:
+                    return
+                run = self.run_for_flush(flushed.flush_epoch)
+                if run is None:
+                    return
+                yield from run.scan(
+                    self.begin_key,
+                    self.end_key,
+                    self.query_ts,
+                    after=cursor.last_position,
+                )
+                return
+            yield update
+
+
+class MergeUpdates:
+    """K-way merge of sorted update streams, combining same-key chains.
+
+    Yields one combined :class:`UpdateRecord` per distinct key, in key order
+    (the output the outer join consumes).
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[Iterable[UpdateRecord]],
+        schema: Schema,
+        cpu: Optional[CpuMeter] = None,
+    ) -> None:
+        self.sources = list(sources)
+        self.schema = schema
+        self.cpu = cpu
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        merged = heapq.merge(*self.sources, key=UpdateRecord.sort_key)
+        chain: list[UpdateRecord] = []
+        count = 0
+        for update in merged:
+            count += 1
+            if chain and update.key != chain[0].key:
+                yield combine_chain(chain, self.schema)
+                chain = []
+            chain.append(update)
+        if chain:
+            yield combine_chain(chain, self.schema)
+        if self.cpu is not None and count:
+            self.cpu.charge(count * MERGE_CPU_PER_UPDATE)
+
+
+class MergeDataUpdates:
+    """Outer join of (record, page_ts) pairs with combined updates.
+
+    The update stream and the data stream are both key-ordered.  An update
+    whose timestamp is <= the page timestamp of the matching record has
+    already been applied in place (by a migration) and is skipped — the
+    timestamp rule that lets queries run during in-place migration.
+    """
+
+    def __init__(
+        self,
+        data_pairs: Iterable[tuple[tuple, int]],
+        updates: Iterable[UpdateRecord],
+        schema: Schema,
+        cpu: Optional[CpuMeter] = None,
+    ) -> None:
+        self.data_pairs = data_pairs
+        self.updates = updates
+        self.schema = schema
+        self.cpu = cpu
+
+    def __iter__(self) -> Iterator[tuple]:
+        schema = self.schema
+        updates = iter(self.updates)
+        update = next(updates, None)
+        for record, page_ts in self.data_pairs:
+            key = schema.key(record)
+            # Updates strictly before this data key have no base record in
+            # the table: only (re)insertions produce output.
+            while update is not None and update.key < key:
+                produced = apply_update(None, update, schema)
+                if produced is not None:
+                    yield produced
+                update = next(updates, None)
+            if update is not None and update.key == key:
+                if update.timestamp > page_ts:
+                    produced = apply_update(record, update, schema)
+                    if produced is not None:
+                        yield produced
+                else:
+                    # Already applied in place by a migration.
+                    yield record
+                update = next(updates, None)
+            else:
+                yield record
+        # Insertions with keys past the end of the data stream.
+        while update is not None:
+            produced = apply_update(None, update, schema)
+            if produced is not None:
+                yield produced
+            update = next(updates, None)

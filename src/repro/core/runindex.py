@@ -1,0 +1,75 @@
+"""Read-only run indexes over materialized sorted runs (Section 3.1, 3.5).
+
+A run index records the smallest key stored in every fixed-size block of a
+sorted run, letting a range scan read only the blocks that can contain its
+key range.  Because runs are immutable, the index is built once at run
+creation and never maintained.
+
+Granularity is the block size: the paper's *coarse* configuration indexes
+one entry per 64 KB of cached updates, the *fine* one per 4 KB.  A 4-byte key
+per 4 KB block is 1/1024 of the run size (Section 3.5's space analysis),
+which :meth:`RunIndex.memory_bytes` mirrors.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+#: Bytes of index memory per entry: the paper keeps a 4-byte key prefix.
+KEY_PREFIX_BYTES = 4
+
+#: Paper granularities (Section 4.2).
+COARSE_GRANULARITY = 64 * 1024
+FINE_GRANULARITY = 4 * 1024
+
+
+class RunIndex:
+    """Block-granular sparse index: entry ``b`` is block ``b``'s first key."""
+
+    def __init__(self, first_keys: Sequence[int], block_size: int) -> None:
+        keys = list(first_keys)
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("run index keys must be non-decreasing")
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self._keys = keys
+        self.block_size = block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._keys)
+
+    @property
+    def memory_bytes(self) -> int:
+        """In-memory footprint, one key prefix per block (Section 3.5)."""
+        return KEY_PREFIX_BYTES * len(self._keys)
+
+    def block_span(self, begin_key: int, end_key: int) -> Optional[tuple[int, int]]:
+        """Inclusive block range that can hold keys in [begin, end].
+
+        Returns None when no block can contain the range.
+        """
+        if end_key < begin_key or not self._keys:
+            return None
+        # First candidate: the block whose first_key <= begin_key (it may
+        # contain begin_key), clamped to 0 for ranges before the run.
+        first = bisect.bisect_right(self._keys, begin_key) - 1
+        if first < 0:
+            first = 0
+        # Last candidate: the last block whose first_key <= end_key.
+        last = bisect.bisect_right(self._keys, end_key) - 1
+        if last < first:
+            return None  # the whole range falls before block 0's first key
+        return first, last
+
+    def byte_span(self, begin_key: int, end_key: int) -> Optional[tuple[int, int]]:
+        """Like :meth:`block_span` but in byte offsets [start, end)."""
+        span = self.block_span(begin_key, end_key)
+        if span is None:
+            return None
+        first, last = span
+        return first * self.block_size, (last + 1) * self.block_size
+
+    def first_key_of_block(self, block: int) -> int:
+        return self._keys[block]

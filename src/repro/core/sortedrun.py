@@ -1,0 +1,351 @@
+"""Materialized sorted runs of cached updates on the SSD (Section 3.1).
+
+A run is an immutable, key-sorted sequence of update records packed into
+fixed-size blocks.  Blocks never split a record; each block starts with a
+record count.  The run index (one first-key per block) is built while the
+run is written and kept in memory.
+
+Runs are written with large sequential SSD I/Os (no random SSD writes —
+design goal 2) and scanned with batched block reads narrowed by the run
+index.  Partial migration (Section 3.5) marks key ranges of a run as
+migrated; scans skip updates inside migrated ranges.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, Optional
+
+from repro.core.runindex import COARSE_GRANULARITY, RunIndex
+from repro.core.update import UpdateCodec, UpdateRecord
+from repro.errors import StorageError
+from repro.storage.file import SimFile, StorageVolume
+from repro.util.units import MB, ceil_div
+
+_BLOCK_HEADER = struct.Struct("<I")  # record count
+
+#: Blocks are grouped into write I/Os of this size when materializing a run.
+DEFAULT_WRITE_CHUNK = 1 * MB
+
+#: Block reads are batched in groups of this many requests.
+READ_BATCH_BLOCKS = 128
+
+
+class MaterializedSortedRun:
+    """One immutable sorted run plus its in-memory run index."""
+
+    def __init__(
+        self,
+        name: str,
+        file: SimFile,
+        codec: UpdateCodec,
+        index: RunIndex,
+        num_blocks: int,
+        count: int,
+        min_key: int,
+        max_key: int,
+        min_ts: int,
+        max_ts: int,
+        passes: int = 1,
+    ) -> None:
+        self.name = name
+        self.file = file
+        self.codec = codec
+        self.index = index
+        self.num_blocks = num_blocks
+        self.count = count
+        self.min_key = min_key
+        self.max_key = max_key
+        self.min_ts = min_ts
+        self.max_ts = max_ts
+        #: 1 for runs flushed straight from memory, 2 for merged runs.
+        self.passes = passes
+        #: Key ranges already migrated back to the main data (Section 3.5).
+        self.migrated_ranges: list[tuple[int, int]] = []
+
+    # -------------------------------------------------------------- geometry
+    @property
+    def block_size(self) -> int:
+        return self.index.block_size
+
+    @property
+    def size_bytes(self) -> int:
+        """SSD bytes occupied (whole blocks)."""
+        return self.num_blocks * self.block_size
+
+    def pages(self, page_size: int) -> int:
+        return ceil_div(self.size_bytes, page_size)
+
+    # ----------------------------------------------------------------- scans
+    def scan(
+        self,
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int] = None,
+        after: Optional[tuple[int, int]] = None,
+    ) -> Iterator[UpdateRecord]:
+        """Stream updates with keys in [begin, end], in (key, ts) order.
+
+        ``query_ts`` hides updates later than the query (Section 3.2's
+        timestamp visibility).  ``after`` resumes past a (key, ts) position —
+        used when a Mem_scan hands over to a Run_scan mid-query.
+        """
+        span = self.index.block_span(begin_key, end_key)
+        if span is None:
+            return
+        first_block, last_block = span
+        block = first_block
+        while block <= last_block:
+            group_end = min(block + READ_BATCH_BLOCKS - 1, last_block)
+            requests = [
+                (b * self.block_size, self.block_size)
+                for b in range(block, group_end + 1)
+            ]
+            for data in self.file.read_batch(requests):
+                yield from self._decode_block(
+                    data, begin_key, end_key, query_ts, after
+                )
+            block = group_end + 1
+
+    def _decode_block(
+        self,
+        data: bytes,
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int],
+        after: Optional[tuple[int, int]],
+    ) -> Iterator[UpdateRecord]:
+        (count,) = _BLOCK_HEADER.unpack_from(data, 0)
+        offset = _BLOCK_HEADER.size
+        for _ in range(count):
+            update, offset = self.codec.decode(data, offset)
+            if update.key < begin_key:
+                continue
+            if update.key > end_key:
+                return
+            if query_ts is not None and update.timestamp > query_ts:
+                continue
+            if after is not None and update.sort_key() <= after:
+                continue
+            if self._is_migrated(update.key):
+                continue
+            yield update
+
+    # ------------------------------------------------------------- migration
+    def mark_migrated(self, begin_key: int, end_key: int) -> None:
+        """Record that updates with keys in [begin, end] were migrated."""
+        self.migrated_ranges.append((begin_key, end_key))
+
+    def _is_migrated(self, key: int) -> bool:
+        return any(lo <= key <= hi for lo, hi in self.migrated_ranges)
+
+    def fully_migrated(self, table_min: int, table_max: int) -> bool:
+        """True if the migrated ranges cover [table_min, table_max]."""
+        covered = table_min
+        for lo, hi in sorted(self.migrated_ranges):
+            if lo > covered:
+                return False
+            covered = max(covered, hi + 1)
+            if covered > table_max:
+                return True
+        return covered > table_max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaterializedSortedRun({self.name!r}, {self.count} updates, "
+            f"{self.num_blocks} blocks of {self.block_size}B, "
+            f"keys [{self.min_key}, {self.max_key}], pass={self.passes})"
+        )
+
+
+def load_run(
+    volume: StorageVolume,
+    name: str,
+    codec: UpdateCodec,
+    block_size: int = COARSE_GRANULARITY,
+    passes: int = 1,
+) -> MaterializedSortedRun:
+    """Rebuild a run's in-memory metadata from its SSD file (crash recovery).
+
+    Materialized runs survive a crash on the non-volatile SSD; only their
+    in-memory run index and statistics are lost.  This reads the run once
+    (large sequential I/Os) and reconstructs them.
+    """
+    file = volume.open(name)
+    num_blocks = file.size // block_size
+    first_keys: list[int] = []
+    count = 0
+    min_key = max_key = None
+    min_ts = max_ts = None
+    offset = 0
+    while offset < num_blocks * block_size:
+        chunk = min(DEFAULT_WRITE_CHUNK, num_blocks * block_size - offset)
+        data = file.read(offset, chunk)
+        for base in range(0, chunk, block_size):
+            (records,) = _BLOCK_HEADER.unpack_from(data, base)
+            pos = base + _BLOCK_HEADER.size
+            block_first: Optional[int] = None
+            for _ in range(records):
+                update, pos = codec.decode(data, pos)
+                if block_first is None:
+                    block_first = update.key
+                if min_key is None:
+                    min_key = max_key = update.key
+                    min_ts = max_ts = update.timestamp
+                max_key = max(max_key, update.key)
+                min_key = min(min_key, update.key)
+                min_ts = min(min_ts, update.timestamp)
+                max_ts = max(max_ts, update.timestamp)
+                count += 1
+            first_keys.append(block_first if block_first is not None else 0)
+        offset += chunk
+    if count == 0:
+        raise StorageError(f"run file {name!r} contains no update records")
+    return MaterializedSortedRun(
+        name=name,
+        file=file,
+        codec=codec,
+        index=RunIndex(first_keys, block_size),
+        num_blocks=num_blocks,
+        count=count,
+        min_key=min_key,
+        max_key=max_key,
+        min_ts=min_ts,
+        max_ts=max_ts,
+        passes=passes,
+    )
+
+
+def write_run(
+    volume: StorageVolume,
+    name: str,
+    updates: Iterable[UpdateRecord],
+    codec: UpdateCodec,
+    block_size: int = COARSE_GRANULARITY,
+    write_chunk: int = DEFAULT_WRITE_CHUNK,
+    passes: int = 1,
+    size_hint: Optional[int] = None,
+) -> MaterializedSortedRun:
+    """Materialize a (key, ts)-sorted update stream as a run on ``volume``.
+
+    ``size_hint`` pre-allocates the file for streaming writers (merges); the
+    extent is shrunk to the written size afterwards.  Raises
+    :class:`StorageError` if the stream is empty or out of order.
+    """
+    if write_chunk % block_size != 0:
+        write_chunk = block_size * max(1, write_chunk // block_size)
+
+    first_keys: list[int] = []
+    blocks_in_chunk: list[bytes] = []
+    block_records: list[bytes] = []
+    block_bytes = _BLOCK_HEADER.size
+    block_first_key: Optional[int] = None
+
+    stats = {
+        "count": 0,
+        "min_key": None,
+        "max_key": None,
+        "min_ts": None,
+        "max_ts": None,
+    }
+    file: Optional[SimFile] = None
+    written_blocks = 0
+    last_sort_key: Optional[tuple[int, int]] = None
+
+    def ensure_file(total_hint: int) -> SimFile:
+        nonlocal file
+        if file is None:
+            file = volume.create(name, total_hint)
+        return file
+
+    def flush_chunk() -> None:
+        nonlocal written_blocks
+        if not blocks_in_chunk:
+            return
+        data = b"".join(blocks_in_chunk)
+        target = ensure_file(size_hint if size_hint else len(data))
+        if target.append_pos + len(data) > target.size:
+            raise StorageError(
+                f"run {name!r} overflows its pre-allocated extent "
+                f"({target.size} bytes; size_hint too small)"
+            )
+        target.append(data)
+        written_blocks += len(blocks_in_chunk)
+        blocks_in_chunk.clear()
+
+    def close_block() -> None:
+        nonlocal block_records, block_bytes, block_first_key
+        if not block_records:
+            return
+        body = _BLOCK_HEADER.pack(len(block_records)) + b"".join(block_records)
+        blocks_in_chunk.append(body.ljust(block_size, b"\x00"))
+        first_keys.append(block_first_key)
+        block_records = []
+        block_bytes = _BLOCK_HEADER.size
+        block_first_key = None
+        # Without a size hint the file cannot be allocated yet; buffer all
+        # blocks and write once at the end (1-pass runs fit in memory by
+        # construction — they come from the in-memory buffer).
+        if size_hint is not None and len(blocks_in_chunk) * block_size >= write_chunk:
+            flush_chunk()
+
+    for update in updates:
+        sort_key = update.sort_key()
+        if last_sort_key is not None and sort_key < last_sort_key:
+            raise StorageError(
+                f"updates for run {name!r} are not (key, ts)-sorted"
+            )
+        last_sort_key = sort_key
+        encoded = codec.encode(update)
+        if _BLOCK_HEADER.size + len(encoded) > block_size:
+            raise StorageError(
+                f"update of {len(encoded)} bytes exceeds block size {block_size}"
+            )
+        if block_bytes + len(encoded) > block_size:
+            close_block()
+        if block_first_key is None:
+            block_first_key = update.key
+        block_records.append(encoded)
+        block_bytes += len(encoded)
+        stats["count"] += 1
+        if stats["min_key"] is None:
+            stats["min_key"] = update.key
+            stats["min_ts"] = stats["max_ts"] = update.timestamp
+        stats["max_key"] = update.key
+        stats["min_ts"] = min(stats["min_ts"], update.timestamp)
+        stats["max_ts"] = max(stats["max_ts"], update.timestamp)
+
+    close_block()
+    if stats["count"] == 0:
+        raise StorageError(f"refusing to materialize empty run {name!r}")
+    if size_hint is None and file is None:
+        # Everything still buffered: allocate exactly and write once.
+        data = b"".join(blocks_in_chunk)
+        file = volume.create(name, len(data))
+        file.append(data)
+        written_blocks = len(blocks_in_chunk)
+        blocks_in_chunk.clear()
+    else:
+        flush_chunk()
+
+    assert file is not None
+    used = written_blocks * block_size
+    if used < file.size:
+        shrink = getattr(volume, "shrink", None)
+        if shrink is not None:
+            shrink(name, used)
+
+    index = RunIndex(first_keys, block_size)
+    return MaterializedSortedRun(
+        name=name,
+        file=volume.open(name),
+        codec=codec,
+        index=index,
+        num_blocks=written_blocks,
+        count=stats["count"],
+        min_key=stats["min_key"],
+        max_key=stats["max_key"],
+        min_ts=stats["min_ts"],
+        max_ts=stats["max_ts"],
+        passes=passes,
+    )

@@ -1,0 +1,196 @@
+"""Multiple sort orders / projections (Section 5, "Multiple Sort Orders").
+
+Column-store warehouses keep redundant copies of a table in different sort
+orders to serve different queries.  Differential updates must then maintain
+an update cache *per sort order*, and — the paper's first approach — "every
+update must contain the sort keys for all the sort orders so that the RIDs
+for individual sort orders could be obtained".
+
+:class:`MultiOrderTable` implements that approach over row-store MaSM:
+
+* one *prevailing* table/engine clustered on the primary key;
+* additional projections, each a physical copy clustered on a composite
+  ``(sort_value, primary_key)`` key — the paper's "X with RID column" that
+  makes non-unique sort attributes addressable — with its own MaSM cache;
+* updates fan out to every order; a modification that changes a sort key
+  becomes a delete + insert in that order (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.engine.record import Schema
+from repro.engine.table import Table
+from repro.errors import KeyNotFoundError, SchemaError
+from repro.storage.file import StorageVolume
+
+_RID_BITS = 32
+
+
+def composite_key(sort_value: int, primary_key: int) -> int:
+    """(sort value, RID) packed into one orderable integer key."""
+    if not 0 <= primary_key < (1 << _RID_BITS):
+        raise SchemaError(f"primary key {primary_key} exceeds {_RID_BITS} bits")
+    if sort_value < 0:
+        raise SchemaError("projection sort values must be non-negative")
+    return (sort_value << _RID_BITS) | primary_key
+
+
+def composite_range(begin_sort: int, end_sort: int) -> tuple[int, int]:
+    """The composite-key interval covering sort values [begin, end]."""
+    return composite_key(begin_sort, 0), composite_key(end_sort, (1 << _RID_BITS) - 1)
+
+
+def projection_schema(base: Schema, sort_field: str) -> Schema:
+    """Schema of a projection: a leading composite key plus the base fields.
+
+    The embedded primary key plays the role of the RID column the paper says
+    a reordered copy must carry (at some compression cost).
+    """
+    field = base.fields[base.index_of(sort_field)]
+    if field.is_string or field.type_code == "f64":
+        raise SchemaError(
+            f"projection sort field {sort_field!r} must be an integer column"
+        )
+    fields = [("_sortkey", "u64")] + [(f.name, f.type_code) for f in base.fields]
+    return Schema(fields, key="_sortkey")
+
+
+class Projection:
+    """One extra sort order: a reordered copy with its own update cache."""
+
+    def __init__(self, name: str, masm: MaSM, base: Schema, sort_field: str):
+        self.name = name
+        self.masm = masm
+        self.base = base
+        self.sort_field = sort_field
+        self.sort_pos = base.index_of(sort_field)
+        if masm.table.schema != projection_schema(base, sort_field):
+            raise SchemaError(
+                f"projection {name!r} table must use projection_schema()"
+            )
+
+    def reorder(self, record: tuple) -> tuple:
+        key = composite_key(record[self.sort_pos], self.base.key(record))
+        return (key, *record)
+
+
+class MultiOrderTable:
+    """A table maintained in several sort orders, each with MaSM caching."""
+
+    def __init__(self, prevailing: MaSM) -> None:
+        self.prevailing = prevailing
+        self.schema = prevailing.table.schema
+        self.projections: dict[str, Projection] = {}
+        # primary key -> full current record, for deriving projection keys
+        # of deletes/modifies (the "updates must contain all sort keys"
+        # requirement, satisfied by bookkeeping at the ingest boundary).
+        self._current: dict[int, tuple] = {}
+
+    # ---------------------------------------------------------------- setup
+    def add_projection(self, name: str, masm: MaSM, sort_field: str) -> None:
+        if name in self.projections:
+            raise SchemaError(f"projection {name!r} already exists")
+        self.projections[name] = Projection(name, masm, self.schema, sort_field)
+
+    @staticmethod
+    def create_projection_engine(
+        base_schema: Schema,
+        sort_field: str,
+        disk_volume: StorageVolume,
+        ssd_volume: StorageVolume,
+        expected_records: int,
+        name: str,
+        config: Optional[MaSMConfig] = None,
+        oracle=None,
+    ) -> MaSM:
+        """Convenience: allocate the projection table + MaSM engine."""
+        schema = projection_schema(base_schema, sort_field)
+        table = Table.create(disk_volume, name, schema, expected_records)
+        return MaSM(
+            table,
+            ssd_volume,
+            config=config or MaSMConfig(alpha=1.2, auto_migrate=False),
+            oracle=oracle,
+            name=f"masm-{name}",
+        )
+
+    def bulk_load(self, records: list[tuple]) -> None:
+        """Load the prevailing order and every projection."""
+        ordered = sorted(records, key=self.schema.key)
+        self.prevailing.table.bulk_load(ordered)
+        for record in ordered:
+            self._current[self.schema.key(record)] = tuple(record)
+        for projection in self.projections.values():
+            rows = sorted(
+                (projection.reorder(r) for r in records), key=lambda r: r[0]
+            )
+            projection.masm.table.bulk_load(rows)
+
+    # --------------------------------------------------------------- updates
+    def insert(self, record: tuple) -> None:
+        key = self.schema.key(record)
+        if key in self._current:
+            raise SchemaError(f"duplicate key {key}")
+        self.prevailing.insert(record)
+        for projection in self.projections.values():
+            projection.masm.insert(projection.reorder(record))
+        self._current[key] = tuple(record)
+
+    def delete(self, key: int) -> None:
+        record = self._current.pop(key, None)
+        if record is None:
+            raise KeyNotFoundError(f"key {key}")
+        self.prevailing.delete(key)
+        for projection in self.projections.values():
+            projection.masm.delete(composite_key(record[projection.sort_pos], key))
+
+    def modify(self, key: int, changes: dict) -> None:
+        record = self._current.get(key)
+        if record is None:
+            raise KeyNotFoundError(f"key {key}")
+        updated = self.schema.apply_modification(record, changes)
+        self.prevailing.modify(key, changes)
+        for projection in self.projections.values():
+            old_sort = record[projection.sort_pos]
+            new_sort = updated[projection.sort_pos]
+            if old_sort == new_sort:
+                projection.masm.modify(composite_key(old_sort, key), changes)
+            else:
+                projection.masm.delete(composite_key(old_sort, key))
+                projection.masm.insert(projection.reorder(updated))
+        self._current[key] = updated
+
+    # ----------------------------------------------------------------- scans
+    def range_scan(self, begin_key: int, end_key: int) -> Iterator[tuple]:
+        """Scan in the prevailing (primary key) order."""
+        return self.prevailing.range_scan(begin_key, end_key)
+
+    def scan_order(
+        self, projection_name: str, begin_sort: int, end_sort: int
+    ) -> Iterator[tuple]:
+        """Scan a projection in its own sort order, fresh under updates.
+
+        Yields base-schema records (the composite key is stripped).
+        """
+        projection = self.projections.get(projection_name)
+        if projection is None:
+            raise SchemaError(f"no projection {projection_name!r}")
+        lo, hi = composite_range(begin_sort, end_sort)
+        for row in projection.masm.range_scan(lo, hi):
+            yield row[1:]
+
+    # ------------------------------------------------------------- migration
+    def migrate_all(self) -> None:
+        """Migrate every order's cache (each in place, independently)."""
+        for masm in [self.prevailing, *(p.masm for p in self.projections.values())]:
+            masm.flush_buffer()
+            if masm.runs:
+                masm.migrate()
+
+    @property
+    def total_cached_bytes(self) -> int:
+        engines = [self.prevailing, *(p.masm for p in self.projections.values())]
+        return sum(m.cached_run_bytes + m.buffer.used_bytes for m in engines)

@@ -1,0 +1,173 @@
+"""Closed-form models from the paper, used for parameter selection and to
+cross-check measurements in the benchmark suite.
+
+* Theorems 3.2 / 3.3 — optimal MaSM-M / MaSM-αM parameters and the resulting
+  SSD writes per update record;
+* Section 2.3 — write amplification of an LSM-based update cache;
+* Figure 1 — migration overhead as a function of memory footprint for
+  in-memory differential updates vs MaSM;
+* Section 3.7 — SSD lifetime under a sustained update rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import GB, KB
+
+SECONDS_PER_YEAR = 365.0 * 24 * 3600
+
+
+# --------------------------------------------------------------------------
+# Theorems 3.2 / 3.3: memory footprint vs SSD writes
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class OptimalParameters:
+    """Optimal (S, N, K2) for MaSM-αM per Theorem 3.3."""
+
+    S: float  # update pages
+    N: float  # 1-pass runs merged per 2-pass run
+    K2: int  # 2-pass runs at capacity (worst case)
+
+
+def alpha_lower_bound(M: int) -> float:
+    """Smallest alpha that avoids 3-pass runs: 2 / cbrt(M) (Section 3.4)."""
+    return 2.0 / (M ** (1.0 / 3.0))
+
+
+def optimal_parameters(M: int, alpha: float = 1.0) -> OptimalParameters:
+    """S_opt and N_opt from Theorem 3.3 (Theorem 3.2 when alpha == 1)."""
+    if not alpha_lower_bound(M) <= alpha <= 2.0 + 1e-9:
+        raise ValueError(f"alpha={alpha} outside [{alpha_lower_bound(M):.3f}, 2]")
+    S = 0.5 * alpha * M
+    K2 = max(1, math.floor(4.0 / (alpha * alpha)))
+    N = ((2.0 / alpha - 0.5 * alpha) * M) / K2 + 1
+    return OptimalParameters(S=S, N=N, K2=K2)
+
+
+def masm_writes_per_update(alpha: float, M: int | None = None) -> float:
+    """Average SSD writes per update record for MaSM-αM.
+
+    Theorem 3.3's approximation ``2 - 0.25 * alpha^2``; with ``M`` given the
+    exact Theorem 3.2 correction ``+ 2/M`` at alpha == 1 is included.
+    """
+    base = 2.0 - 0.25 * alpha * alpha
+    if M is not None and abs(alpha - 1.0) < 1e-9:
+        return 1.75 + 2.0 / M
+    return base
+
+
+def memory_pages_for_cache(cache_pages: int, alpha: float) -> int:
+    """Memory (pages) MaSM-αM needs for ``cache_pages`` of SSD cache."""
+    return max(1, round(alpha * math.isqrt(cache_pages)))
+
+
+# --------------------------------------------------------------------------
+# Section 2.3: LSM write amplification
+# --------------------------------------------------------------------------
+def lsm_writes_per_update(size_ratio_total: float, levels: int) -> float:
+    """Writes per update entry for an LSM with ``levels`` SSD levels.
+
+    With C0 in memory and C1..Ch on SSD sized in geometric progression
+    r = (SSD/mem)^(1/h), levels 1..h-1 cost about (r+1) writes per entry
+    and level h about (r+1)/2 (Section 2.3).
+    """
+    if levels < 1:
+        raise ValueError("an SSD-resident LSM needs at least one level")
+    if size_ratio_total <= 1:
+        raise ValueError("SSD capacity must exceed memory for an LSM cache")
+    r = size_ratio_total ** (1.0 / levels)
+    return (levels - 1) * (r + 1) + (r + 1) / 2.0
+
+
+def lsm_optimal_levels(size_ratio_total: float, max_levels: int = 16) -> int:
+    """The level count minimizing :func:`lsm_writes_per_update`."""
+    best_h, best = 1, float("inf")
+    for h in range(1, max_levels + 1):
+        writes = lsm_writes_per_update(size_ratio_total, h)
+        if writes < best:
+            best_h, best = h, writes
+    return best_h
+
+
+# --------------------------------------------------------------------------
+# Figure 1: migration overhead vs memory footprint
+# --------------------------------------------------------------------------
+REFERENCE_MEMORY = 16 * GB  # Figure 1 normalizes to prior art at 16 GB
+
+
+def inmemory_migration_overhead(
+    memory_bytes: int, reference: int = REFERENCE_MEMORY
+) -> float:
+    """Prior state-of-the-art (in-memory cache): overhead ∝ 1 / buffer size.
+
+    Each migration scans and rewrites the whole warehouse; halving migration
+    frequency requires doubling the buffer.  Normalized so that the prior
+    approach at ``reference`` bytes equals 1.0.
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory must be positive")
+    return reference / memory_bytes
+
+
+def masm_migration_overhead(
+    memory_bytes: int,
+    alpha: float = 1.0,
+    ssd_page: int = 64 * KB,
+    reference: int = REFERENCE_MEMORY,
+) -> float:
+    """MaSM: memory F supports an SSD cache of F^2 / (alpha^2 P) bytes, so
+    migration overhead falls with the *square* of the memory footprint
+    (Section 3.7: doubling memory quarters migration frequency).
+
+    Normalized to the same reference as :func:`inmemory_migration_overhead`;
+    the paper's example — MaSM-M with 32 MB matching prior art with 16 GB —
+    evaluates to 1.0 here.
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory must be positive")
+    cache_bytes = memory_bytes * memory_bytes / (alpha * alpha * ssd_page)
+    return reference / cache_bytes
+
+
+def equivalent_masm_memory(
+    inmemory_bytes: int, alpha: float = 1.0, ssd_page: int = 64 * KB
+) -> float:
+    """MaSM memory footprint with the same migration overhead as an
+    in-memory differential cache of ``inmemory_bytes`` (Section 3.7)."""
+    return math.sqrt(inmemory_bytes * alpha * alpha * ssd_page)
+
+
+# --------------------------------------------------------------------------
+# Section 3.7: SSD lifetime
+# --------------------------------------------------------------------------
+def ssd_lifetime_years(
+    capacity_bytes: int,
+    endurance_cycles: int,
+    write_rate_bytes_per_s: float,
+    writes_per_update: float = 1.0,
+) -> float:
+    """Years an SSD lasts caching updates arriving at ``write_rate``.
+
+    ``writes_per_update`` scales the device writes relative to the incoming
+    update volume (1.0 for MaSM-2M, ~1.75 for MaSM-M, ~17 for an optimal
+    LSM -- the Section 2.3/3.7 lifetime comparison).
+    """
+    if write_rate_bytes_per_s <= 0:
+        return float("inf")
+    total = capacity_bytes * endurance_cycles
+    return total / (write_rate_bytes_per_s * writes_per_update) / SECONDS_PER_YEAR
+
+
+def sustainable_update_rate(
+    capacity_bytes: int,
+    endurance_cycles: int,
+    years: float,
+    writes_per_update: float = 1.0,
+) -> float:
+    """Update bytes/second an SSD sustains for ``years`` (inverse of above)."""
+    if years <= 0:
+        raise ValueError("years must be positive")
+    total = capacity_bytes * endurance_cycles
+    return total / (years * SECONDS_PER_YEAR * writes_per_update)

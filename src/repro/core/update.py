@@ -1,0 +1,234 @@
+"""Update records, combination rules, and their binary codec.
+
+An incoming well-formed update (Section 2.1) is one of:
+
+* ``INSERT``  — a new record, given its key;
+* ``DELETE``  — remove the record with a key;
+* ``MODIFY``  — set named fields of the record with a key;
+* ``REPLACE`` — internal type produced when a deletion is merged with a later
+  insertion of the same key (Section 3.2's update record format).
+
+Each carries ``(timestamp, key, type, content)``.  ``combine`` implements the
+Merge_updates rule for two updates to the same key, and ``apply_update``
+applies a (combined) update to a base record during the outer join with the
+table scan.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional, Sequence
+
+from repro.engine.record import Schema
+from repro.errors import ReproError
+
+
+class UpdateConflictError(ReproError):
+    """Two updates to the same key cannot be legally combined."""
+
+
+class UpdateType(IntEnum):
+    INSERT = 0
+    DELETE = 1
+    MODIFY = 2
+    REPLACE = 3
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One cached update: ``(timestamp, key, type, content)``.
+
+    ``content`` is the full record tuple for INSERT/REPLACE, a field->value
+    dict for MODIFY, and None for DELETE.
+    """
+
+    timestamp: int
+    key: int
+    type: UpdateType
+    content: object
+
+    def sort_key(self) -> tuple[int, int]:
+        """Updates order by (key, timestamp): the sorted-run order."""
+        return (self.key, self.timestamp)
+
+
+def combine(
+    earlier: UpdateRecord, later: UpdateRecord, schema: Optional[Schema] = None
+) -> UpdateRecord:
+    """Merge two same-key updates into one with the later timestamp.
+
+    Implements Section 3.2: modifications merge field-wise (later wins), a
+    deletion followed by an insertion becomes REPLACE, and a later deletion
+    supersedes everything before it.  Folding a MODIFY into an earlier
+    INSERT/REPLACE rewrites the record tuple and therefore needs ``schema``.
+    """
+    if earlier.key != later.key:
+        raise UpdateConflictError(
+            f"cannot combine updates for different keys "
+            f"({earlier.key} vs {later.key})"
+        )
+    if earlier.timestamp > later.timestamp:
+        raise UpdateConflictError("updates must combine in timestamp order")
+    lt = later.type
+    et = earlier.type
+    if lt == UpdateType.DELETE:
+        # A later deletion wipes whatever came before.  If the earlier update
+        # (re)inserted the record on top of a deletion, the net effect is
+        # still a deletion of the original record.
+        return UpdateRecord(later.timestamp, later.key, UpdateType.DELETE, None)
+    if lt in (UpdateType.INSERT, UpdateType.REPLACE):
+        if et in (UpdateType.INSERT, UpdateType.REPLACE) and lt == UpdateType.INSERT:
+            raise UpdateConflictError(
+                f"duplicate insert for key {later.key} "
+                f"(ts {earlier.timestamp} then {later.timestamp})"
+            )
+        if et == UpdateType.DELETE:
+            # delete + insert = replace (Section 3.2).
+            return UpdateRecord(
+                later.timestamp, later.key, UpdateType.REPLACE, later.content
+            )
+        # replace supersedes any earlier state.
+        return UpdateRecord(
+            later.timestamp, later.key, UpdateType.REPLACE, later.content
+        )
+    # Later update is a MODIFY.
+    if et == UpdateType.DELETE:
+        raise UpdateConflictError(
+            f"modify after delete for key {later.key} without re-insert"
+        )
+    if et == UpdateType.MODIFY:
+        merged = dict(earlier.content)
+        merged.update(later.content)
+        return UpdateRecord(later.timestamp, later.key, UpdateType.MODIFY, merged)
+    # MODIFY on top of INSERT/REPLACE: fold the changes into the new record.
+    if schema is None:
+        raise UpdateConflictError(
+            "combining a MODIFY into an INSERT/REPLACE requires the schema"
+        )
+    patched = schema.apply_modification(tuple(earlier.content), dict(later.content))
+    return UpdateRecord(later.timestamp, later.key, earlier.type, patched)
+
+
+def combine_chain(updates: Sequence[UpdateRecord], schema: Schema) -> UpdateRecord:
+    """Combine a timestamp-ordered chain of same-key updates into one."""
+    if not updates:
+        raise UpdateConflictError("cannot combine an empty chain")
+    result = updates[0]
+    for update in updates[1:]:
+        result = combine(result, update, schema)
+    return result
+
+
+def apply_update(
+    record: Optional[tuple], update: UpdateRecord, schema: Schema
+) -> Optional[tuple]:
+    """Apply one (combined) update to a base record.
+
+    ``record`` is None when the table has no record with the update's key.
+    Returns the resulting record, or None if the record is (or stays) absent.
+    """
+    t = update.type
+    if t in (UpdateType.INSERT, UpdateType.REPLACE):
+        return tuple(update.content)
+    if t == UpdateType.DELETE:
+        return None
+    # MODIFY
+    if record is None:
+        # The base record is gone (e.g. the modify was already migrated and a
+        # later migrated delete removed it, or a bad update): nothing to do.
+        return None
+    return schema.apply_modification(record, dict(update.content))
+
+
+class UpdateCodec:
+    """Fixed-schema binary codec for update records.
+
+    Wire format::
+
+        timestamp u64 | key u64 | type u8 | payload_len u32 | payload
+
+    Payload: packed record for INSERT/REPLACE; empty for DELETE; for MODIFY a
+    sequence of (field_index u16, packed field value) pairs.
+    """
+
+    _HEAD = struct.Struct("<QQBI")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._field_structs = [
+            None if f.is_string else struct.Struct("<" + f.struct_code())
+            for f in schema.fields
+        ]
+
+    @property
+    def header_size(self) -> int:
+        return self._HEAD.size
+
+    def encoded_size(self, update: UpdateRecord) -> int:
+        return self._HEAD.size + len(self._payload(update))
+
+    def _pack_field(self, idx: int, value) -> bytes:
+        field = self.schema.fields[idx]
+        if field.is_string:
+            raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+            raw = raw.ljust(field.width, b"\x00")
+            if len(raw) != field.width:
+                raise ReproError(
+                    f"value for field {field.name!r} exceeds width {field.width}"
+                )
+            return raw
+        return self._field_structs[idx].pack(value)
+
+    def _unpack_field(self, idx: int, data: bytes, offset: int):
+        field = self.schema.fields[idx]
+        if field.is_string:
+            raw = data[offset : offset + field.width]
+            return raw.rstrip(b"\x00").decode("utf-8"), offset + field.width
+        s = self._field_structs[idx]
+        return s.unpack_from(data, offset)[0], offset + s.size
+
+    def _payload(self, update: UpdateRecord) -> bytes:
+        t = update.type
+        if t in (UpdateType.INSERT, UpdateType.REPLACE):
+            return self.schema.pack(update.content)
+        if t == UpdateType.DELETE:
+            return b""
+        parts = []
+        for name, value in sorted(update.content.items()):
+            idx = self.schema.index_of(name)
+            parts.append(struct.pack("<H", idx))
+            parts.append(self._pack_field(idx, value))
+        return b"".join(parts)
+
+    def encode(self, update: UpdateRecord) -> bytes:
+        payload = self._payload(update)
+        return (
+            self._HEAD.pack(
+                update.timestamp, update.key, int(update.type), len(payload)
+            )
+            + payload
+        )
+
+    def decode(self, data: bytes, offset: int = 0) -> tuple[UpdateRecord, int]:
+        """Decode one update at ``offset``; returns (update, next_offset)."""
+        timestamp, key, type_raw, payload_len = self._HEAD.unpack_from(data, offset)
+        body_start = offset + self._HEAD.size
+        payload = data[body_start : body_start + payload_len]
+        if len(payload) != payload_len:
+            raise ReproError("truncated update record")
+        utype = UpdateType(type_raw)
+        if utype in (UpdateType.INSERT, UpdateType.REPLACE):
+            content: object = self.schema.unpack(payload)
+        elif utype == UpdateType.DELETE:
+            content = None
+        else:
+            changes = {}
+            pos = 0
+            while pos < len(payload):
+                (idx,) = struct.unpack_from("<H", payload, pos)
+                value, pos = self._unpack_field(idx, payload, pos + 2)
+                changes[self.schema.fields[idx].name] = value
+            content = changes
+        return UpdateRecord(timestamp, key, utype, content), body_start + payload_len

@@ -1,0 +1,135 @@
+"""Lazily maintained materialized views over MaSM (Section 5, citing [25]).
+
+Eager view maintenance puts view updates on the critical path of every
+incoming update; lazy maintenance postpones the work "until the DW has free
+cycles or a query references the view".  With differential updates this is
+natural: "treating the view maintenance operations as normal queries" — a
+refresh is just a MaSM range scan at a fresh timestamp.
+
+:class:`LazyMaterializedView` keeps a filtered/projected copy of a table
+with a freshness timestamp.  Reads refresh on demand (lazily); an idle-time
+maintenance hook (:meth:`maintain`) refreshes without a waiting query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.masm import MaSM
+
+
+class LazyMaterializedView:
+    """A predicate+projection view, refreshed lazily from MaSM scans."""
+
+    def __init__(
+        self,
+        masm: MaSM,
+        name: str,
+        predicate: Optional[Callable[[tuple], bool]] = None,
+        projection: Optional[Sequence[str]] = None,
+        key_range: Optional[tuple[int, int]] = None,
+    ) -> None:
+        self.masm = masm
+        self.name = name
+        self.predicate = predicate or (lambda record: True)
+        schema = masm.table.schema
+        if projection is not None:
+            self._positions: Optional[list[int]] = [
+                schema.index_of(field) for field in projection
+            ]
+        else:
+            self._positions = None
+        self.key_range = key_range or masm.table.full_key_range()
+        self._rows: list[tuple] = []
+        #: Timestamp of the last refresh; updates after it are not reflected.
+        #: -1 means never materialized, so the first read always refreshes.
+        self.fresh_as_of = -1
+        self.refreshes = 0
+
+    # ------------------------------------------------------------ freshness
+    @property
+    def is_stale(self) -> bool:
+        """True if an update committed after the last refresh."""
+        return self.masm.last_update_ts > self.fresh_as_of
+
+    def _project(self, record: tuple) -> tuple:
+        if self._positions is None:
+            return record
+        return tuple(record[i] for i in self._positions)
+
+    def refresh(self) -> int:
+        """Recompute the view contents from a fresh MaSM scan.
+
+        The refresh is "a normal query": it sees every update committed
+        before its timestamp, like any other MaSM range scan.  The view is
+        stale exactly when an update committed after the refresh timestamp
+        (tracked by the engine's ``last_update_ts``).
+        """
+        as_of = self.masm.oracle.next()
+        rows = []
+        for record in self.masm.range_scan(*self.key_range, query_ts=as_of):
+            if self.predicate(record):
+                rows.append(self._project(record))
+        self._rows = rows
+        self.fresh_as_of = as_of
+        self.refreshes += 1
+        return len(rows)
+
+    # ----------------------------------------------------------------- reads
+    def read(self) -> Iterator[tuple]:
+        """Lazy read: refresh first if any newer update exists."""
+        if self.is_stale:
+            self.refresh()
+        return iter(self._rows)
+
+    def read_stale(self) -> Iterator[tuple]:
+        """Read whatever was materialized, without maintenance (monitoring
+        dashboards that tolerate bounded staleness)."""
+        return iter(self._rows)
+
+    def maintain(self) -> bool:
+        """Idle-time maintenance: refresh only if stale; True if it ran."""
+        if self.is_stale:
+            self.refresh()
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class ViewCatalog:
+    """A set of lazy views over one MaSM table, maintained together."""
+
+    def __init__(self, masm: MaSM) -> None:
+        self.masm = masm
+        self._views: dict[str, LazyMaterializedView] = {}
+
+    def define(
+        self,
+        name: str,
+        predicate: Optional[Callable[[tuple], bool]] = None,
+        projection: Optional[Sequence[str]] = None,
+        key_range: Optional[tuple[int, int]] = None,
+    ) -> LazyMaterializedView:
+        if name in self._views:
+            raise ValueError(f"view {name!r} already defined")
+        view = LazyMaterializedView(
+            self.masm, name, predicate=predicate, projection=projection,
+            key_range=key_range,
+        )
+        self._views[name] = view
+        return view
+
+    def __getitem__(self, name: str) -> LazyMaterializedView:
+        return self._views[name]
+
+    def __iter__(self) -> Iterator[LazyMaterializedView]:
+        return iter(self._views.values())
+
+    def maintain_all(self) -> int:
+        """Idle-time pass over every view; returns how many refreshed."""
+        return sum(1 for view in self._views.values() if view.maintain())
+
+    def stale_views(self) -> list[str]:
+        return [v.name for v in self._views.values() if v.is_stale]

@@ -1,0 +1,13 @@
+"""Row-store engine substrate: records, pages, heap files, tables, scans."""
+
+from repro.engine.record import Field, Schema, synthetic_schema
+from repro.engine.page import DEFAULT_PAGE_SIZE, SlottedPage, empty_page_bytes
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "Field",
+    "Schema",
+    "SlottedPage",
+    "empty_page_bytes",
+    "synthetic_schema",
+]

@@ -1,0 +1,234 @@
+"""An in-memory B+-tree multimap.
+
+Used for the in-memory indexes the paper's comparisons rely on: the
+Indexed-Updates baseline keeps its update index in memory (Section 2.3), the
+secondary-update index of Section 5 needs ordered range scans, and the LSM
+baseline's C0 component is an ordered in-memory tree.
+
+Keys are any totally ordered values (ints in practice); each key maps to a
+list of values in insertion order.  Leaves are linked for range scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Optional
+
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: list = []
+        self.children: list[_Node] = []  # internal nodes only
+        self.values: list[list] = []  # leaves only, parallel to keys
+        self.next_leaf: Optional[_Node] = None
+
+
+class BPlusTree:
+    """B+-tree with duplicate-key support and linked leaves."""
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 4:
+            raise ValueError(f"order must be >= 4, got {order}")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._len = 0  # number of (key, value) pairs
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------ find
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            pos = bisect.bisect_right(node.keys, key)
+            node = node.children[pos]
+        return node
+
+    def search(self, key) -> list:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        pos = bisect.bisect_left(leaf.keys, key)
+        if pos < len(leaf.keys) and leaf.keys[pos] == key:
+            return list(leaf.values[pos])
+        return []
+
+    def __contains__(self, key) -> bool:
+        leaf = self._find_leaf(key)
+        pos = bisect.bisect_left(leaf.keys, key)
+        return pos < len(leaf.keys) and leaf.keys[pos] == key
+
+    # ---------------------------------------------------------------- insert
+    def insert(self, key, value) -> None:
+        """Add ``value`` under ``key`` (duplicates append in order)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            root = _Node(is_leaf=False)
+            root.keys = [sep]
+            root.children = [self._root, right]
+            self._root = root
+        self._len += 1
+
+    def _insert(self, node: _Node, key, value):
+        if node.is_leaf:
+            pos = bisect.bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                node.values[pos].append(value)
+                return None
+            node.keys.insert(pos, key)
+            node.values.insert(pos, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        pos = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[pos], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(pos, sep)
+        node.children.insert(pos + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ---------------------------------------------------------------- delete
+    def delete(self, key, value: Any = ...) -> bool:
+        """Remove one value (or all values when ``value`` is omitted).
+
+        Returns True if something was removed.  Underflowed leaves are left
+        lazily; this multimap favours simplicity over strict occupancy, which
+        is fine for its in-memory index roles.
+        """
+        leaf = self._find_leaf(key)
+        pos = bisect.bisect_left(leaf.keys, key)
+        if pos >= len(leaf.keys) or leaf.keys[pos] != key:
+            return False
+        if value is ...:
+            removed = len(leaf.values[pos])
+            del leaf.keys[pos]
+            del leaf.values[pos]
+            self._len -= removed
+            return True
+        try:
+            leaf.values[pos].remove(value)
+        except ValueError:
+            return False
+        self._len -= 1
+        if not leaf.values[pos]:
+            del leaf.keys[pos]
+            del leaf.values[pos]
+        return True
+
+    # ----------------------------------------------------------------- scans
+    def _first_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(self) -> Iterator[tuple]:
+        """All (key, value) pairs in key order (values in insertion order)."""
+        leaf: Optional[_Node] = self._first_leaf()
+        while leaf is not None:
+            for key, values in zip(leaf.keys, leaf.values):
+                for value in values:
+                    yield key, value
+            leaf = leaf.next_leaf
+
+    def keys(self) -> Iterator:
+        leaf: Optional[_Node] = self._first_leaf()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next_leaf
+
+    def range(self, begin, end) -> Iterator[tuple]:
+        """(key, value) pairs with begin <= key <= end, in key order."""
+        if end < begin:
+            return
+        leaf: Optional[_Node] = self._find_leaf(begin)
+        pos = bisect.bisect_left(leaf.keys, begin)
+        while leaf is not None:
+            while pos < len(leaf.keys):
+                key = leaf.keys[pos]
+                if key > end:
+                    return
+                for value in leaf.values[pos]:
+                    yield key, value
+                pos += 1
+            leaf = leaf.next_leaf
+            pos = 0
+
+    def min_key(self):
+        leaf = self._first_leaf()
+        if not leaf.keys:
+            return None
+        return leaf.keys[0]
+
+    def max_key(self):
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        if not node.keys:
+            return None
+        return node.keys[-1]
+
+    # ------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        """Verify structural invariants (used by property tests)."""
+        self._check_node(self._root, None, None, self._depth())
+        keys = list(self.keys())
+        assert keys == sorted(keys), "leaf keys out of order"
+
+    def _depth(self) -> int:
+        depth = 0
+        node = self._root
+        while not node.is_leaf:
+            depth += 1
+            node = node.children[0]
+        return depth
+
+    def _check_node(self, node: _Node, lo, hi, depth: int) -> None:
+        assert node.keys == sorted(node.keys)
+        for key in node.keys:
+            assert lo is None or key >= lo, "key below subtree bound"
+            assert hi is None or key <= hi, "key above subtree bound"
+        if node.is_leaf:
+            assert depth == 0, "leaves at different depths"
+            assert len(node.values) == len(node.keys)
+            assert all(v for v in node.values), "empty value list retained"
+            return
+        assert len(node.children) == len(node.keys) + 1
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            self._check_node(child, bounds[i], bounds[i + 1], depth - 1)

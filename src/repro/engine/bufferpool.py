@@ -1,0 +1,119 @@
+"""A small LRU buffer pool over a heap file.
+
+MaSM deliberately requires *no* buffer-manager changes (Section 1.2's final
+design point); the pool here is the plain substrate piece a storage manager
+provides: pin/unpin, dirty tracking, LRU eviction with write-back.  Migration
+uses it to apply updates to data pages "in the database buffer pool"
+(Section 3.2) before issuing large sequential writes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.heapfile import HeapFile
+from repro.engine.page import SlottedPage
+from repro.errors import StorageError
+
+
+@dataclass
+class _Frame:
+    page: SlottedPage
+    dirty: bool = False
+    pins: int = 0
+
+
+class BufferPool:
+    """LRU cache of :class:`SlottedPage` frames for one heap file."""
+
+    def __init__(self, heap: HeapFile, capacity_pages: int = 256) -> None:
+        if capacity_pages < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        self.heap = heap
+        self.capacity = capacity_pages
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, page_no: int, pin: bool = False) -> SlottedPage:
+        """Fetch a page, reading it on a miss; optionally pin it."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_no)
+        else:
+            self.misses += 1
+            self._evict_if_full()
+            frame = _Frame(self.heap.read_page(page_no))
+            self._frames[page_no] = frame
+        if pin:
+            frame.pins += 1
+        return frame.page
+
+    def unpin(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pins == 0:
+            raise StorageError(f"page {page_no} is not pinned")
+        frame.pins -= 1
+
+    def mark_dirty(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None:
+            raise StorageError(f"page {page_no} is not resident")
+        frame.dirty = True
+
+    def put(self, page_no: int, page: SlottedPage, dirty: bool = True) -> None:
+        """Install a page produced elsewhere (e.g. migration output)."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            if frame.pins:
+                raise StorageError(f"page {page_no} is pinned; cannot replace")
+            frame.page = page
+            frame.dirty = frame.dirty or dirty
+            self._frames.move_to_end(page_no)
+            return
+        self._evict_if_full()
+        self._frames[page_no] = _Frame(page, dirty=dirty)
+
+    def flush(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None:
+            return
+        if frame.dirty:
+            self.heap.write_page(page_no, frame.page)
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        for page_no in list(self._frames):
+            self.flush(page_no)
+
+    def drop_all(self) -> None:
+        """Discard every unpinned frame without writing (crash simulation)."""
+        for page_no in list(self._frames):
+            if self._frames[page_no].pins == 0:
+                del self._frames[page_no]
+
+    def _evict_if_full(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_no = None
+            for page_no, frame in self._frames.items():  # LRU order
+                if frame.pins == 0:
+                    victim_no = page_no
+                    break
+            if victim_no is None:
+                raise StorageError("all buffer pool frames are pinned")
+            frame = self._frames.pop(victim_no)
+            if frame.dirty:
+                self.heap.write_page(victim_no, frame.page)
+            self.evictions += 1
+
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

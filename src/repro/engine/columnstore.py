@@ -1,0 +1,202 @@
+"""A minimal column store (the DBMS C stand-in for Figure 4).
+
+Attributes of a record live in separate fixed-width column files, aligned by
+position (RID), as in the column-store DWs the paper evaluates [11, 22].
+Range scans read only the requested columns, with large sequential I/Os per
+column file; in-place updates read-modify-write the 4 KB block holding each
+touched value — the access pattern whose interference Figure 4 measures.
+
+Deletions use a validity column (one byte per row) so RIDs stay stable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.engine.record import Schema
+from repro.errors import KeyNotFoundError, SchemaError, StorageError
+from repro.storage.file import SimFile, StorageVolume
+from repro.storage.iosched import SCAN_CPU_PER_RECORD, CpuMeter
+from repro.util.units import KB, MB, ceil_div
+
+COLUMN_IO_CHUNK = 1 * MB
+UPDATE_IO = 4 * KB  # block size for in-place value updates
+
+
+class ColumnTable:
+    """One table stored column-wise in RID order."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        volume: StorageVolume,
+        capacity_rows: int,
+        cpu: Optional[CpuMeter] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.volume = volume
+        self.capacity_rows = capacity_rows
+        self.cpu = cpu
+        self.row_count = 0  # includes deleted rows (RID space)
+        self.live_count = 0
+        self._files: dict[str, SimFile] = {}
+        for field in schema.fields:
+            size = _aligned(capacity_rows * field.width)
+            self._files[field.name] = volume.create(f"{name}.{field.name}", size)
+        self._valid = volume.create(f"{name}.__valid", _aligned(capacity_rows))
+        # RID lookup: key -> rid, kept in memory (the paper assumes the RID
+        # of an update is provided or obtained from an in-memory index).
+        self._rid_of: dict[int, int] = {}
+
+    # ------------------------------------------------------------- bulk load
+    def bulk_load(self, records) -> None:
+        """Load records (key order == RID order) column by column."""
+        buffers: dict[str, bytearray] = {f.name: bytearray() for f in self.schema.fields}
+        valid = bytearray()
+        offsets = {name: 0 for name in buffers}
+        valid_offset = 0
+        rid = 0
+        for record in records:
+            if len(record) != len(self.schema.fields):
+                raise SchemaError(f"record arity mismatch: {record!r}")
+            for field, value in zip(self.schema.fields, record):
+                buffers[field.name] += _pack_value(field, value)
+            valid.append(1)
+            self._rid_of[self.schema.key(record)] = rid
+            rid += 1
+            if len(valid) >= COLUMN_IO_CHUNK:
+                for name, buf in buffers.items():
+                    self._files[name].write(offsets[name], bytes(buf))
+                    offsets[name] += len(buf)
+                    buf.clear()
+                self._valid.write(valid_offset, bytes(valid))
+                valid_offset += len(valid)
+                valid.clear()
+        for name, buf in buffers.items():
+            if buf:
+                self._files[name].write(offsets[name], bytes(buf))
+        if valid:
+            self._valid.write(valid_offset, bytes(valid))
+        self.row_count = rid
+        self.live_count = rid
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def data_bytes(self) -> int:
+        return self.row_count * (self.schema.record_size + 1)
+
+    def rid_for_key(self, key: int) -> int:
+        try:
+            return self._rid_of[key]
+        except KeyError:
+            raise KeyNotFoundError(f"{self.name}: key {key}") from None
+
+    # ------------------------------------------------------------------ scan
+    def range_scan(
+        self,
+        begin_rid: int = 0,
+        end_rid: Optional[int] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Iterator[tuple]:
+        """Stream tuples of the selected columns for RIDs in [begin, end]."""
+        if end_rid is None:
+            end_rid = self.row_count - 1
+        if self.row_count == 0 or end_rid < begin_rid:
+            return
+        end_rid = min(end_rid, self.row_count - 1)
+        names = list(columns) if columns is not None else self.schema.field_names()
+        fields = [self.schema.fields[self.schema.index_of(n)] for n in names]
+        rid = begin_rid
+        count = 0
+        while rid <= end_rid:
+            # Read one chunk's worth of rows from each column file.
+            rows_in_chunk = min(
+                end_rid - rid + 1,
+                max(1, COLUMN_IO_CHUNK // max(f.width for f in fields)),
+            )
+            column_data = [
+                self._files[f.name].read(rid * f.width, rows_in_chunk * f.width)
+                for f in fields
+            ]
+            validity = self._valid.read(rid, rows_in_chunk)
+            for i in range(rows_in_chunk):
+                if not validity[i]:
+                    continue
+                yield tuple(
+                    _unpack_value(f, column_data[c], i * f.width)
+                    for c, f in enumerate(fields)
+                )
+                count += 1
+            rid += rows_in_chunk
+        if self.cpu is not None and count:
+            self.cpu.charge(count * SCAN_CPU_PER_RECORD)
+
+    def get(self, key: int) -> tuple:
+        rid = self.rid_for_key(key)
+        for record in self.range_scan(rid, rid):
+            return record
+        raise KeyNotFoundError(f"{self.name}: key {key} is deleted")
+
+    # ------------------------------------------------------ in-place updates
+    def _rmw(self, file: SimFile, offset: int, data: bytes) -> None:
+        """4KB-aligned read-modify-write of one value (the update I/O)."""
+        block = (offset // UPDATE_IO) * UPDATE_IO
+        size = min(UPDATE_IO, file.size - block)
+        page = bytearray(file.read(block, size))
+        page[offset - block : offset - block + len(data)] = data
+        file.write(block, bytes(page))
+
+    def modify_in_place(self, key: int, changes: dict) -> None:
+        rid = self.rid_for_key(key)
+        for name, value in changes.items():
+            field = self.schema.fields[self.schema.index_of(name)]
+            self._rmw(self._files[name], rid * field.width, _pack_value(field, value))
+
+    def delete_in_place(self, key: int) -> None:
+        rid = self._rid_of.pop(key, None)
+        if rid is None:
+            raise KeyNotFoundError(f"{self.name}: key {key}")
+        self._rmw(self._valid, rid, b"\x00")
+        self.live_count -= 1
+
+    def insert_in_place(self, record: tuple) -> None:
+        """Append a row at the end of every column (RID = row_count)."""
+        if self.row_count >= self.capacity_rows:
+            raise StorageError(f"{self.name}: column files are full")
+        rid = self.row_count
+        for field, value in zip(self.schema.fields, record):
+            self._rmw(
+                self._files[field.name],
+                rid * field.width,
+                _pack_value(field, value),
+            )
+        self._rmw(self._valid, rid, b"\x01")
+        self._rid_of[self.schema.key(record)] = rid
+        self.row_count += 1
+        self.live_count += 1
+
+
+def _aligned(n: int) -> int:
+    return max(UPDATE_IO, ceil_div(n, UPDATE_IO) * UPDATE_IO)
+
+
+def _pack_value(field, value) -> bytes:
+    import struct
+
+    if field.is_string:
+        raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+        if len(raw) > field.width:
+            raise SchemaError(f"value too wide for column {field.name!r}")
+        return raw.ljust(field.width, b"\x00")
+    return struct.pack("<" + field.struct_code(), value)
+
+
+def _unpack_value(field, data: bytes, offset: int):
+    import struct
+
+    if field.is_string:
+        raw = data[offset : offset + field.width]
+        return raw.rstrip(b"\x00").decode("utf-8")
+    return struct.unpack_from("<" + field.struct_code(), data, offset)[0]

@@ -1,0 +1,202 @@
+"""Heap files: fixed-size slotted pages stored contiguously on a device.
+
+A heap file holds a table's pages clustered in primary-key order (the record
+order assumption of Section 2.1).  Scans read large I/O chunks (1 MB by
+default, the paper's scan I/O size) and parse the pages they contain;
+point operations read and write single pages (4 KB, the paper's in-place
+update I/O size).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.engine.page import DEFAULT_PAGE_SIZE, SlottedPage
+from repro.engine.record import Schema
+from repro.errors import PageError, StorageError
+from repro.storage.file import SimFile
+from repro.util.units import MB, ceil_div
+
+DEFAULT_IO_CHUNK = 1 * MB
+DEFAULT_FILL_FACTOR = 0.9
+
+
+class HeapFile:
+    """Pages of one table inside a contiguous :class:`SimFile` extent."""
+
+    def __init__(
+        self,
+        file: SimFile,
+        schema: Schema,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        io_chunk: int = DEFAULT_IO_CHUNK,
+    ) -> None:
+        if io_chunk % page_size != 0:
+            raise StorageError(
+                f"io_chunk {io_chunk} must be a multiple of page_size {page_size}"
+            )
+        self.file = file
+        self.schema = schema
+        self.page_size = page_size
+        self.io_chunk = io_chunk
+        self.num_pages = 0  # pages currently holding data
+
+    # ------------------------------------------------------------- capacity
+    @property
+    def capacity_pages(self) -> int:
+        return self.file.size // self.page_size
+
+    @property
+    def pages_per_chunk(self) -> int:
+        return self.io_chunk // self.page_size
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes occupied by loaded pages."""
+        return self.num_pages * self.page_size
+
+    # ------------------------------------------------------------ bulk load
+    def bulk_load(
+        self,
+        records: Iterable[Sequence],
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+        timestamp: int = 0,
+    ) -> list[tuple[int, int]]:
+        """Load records (already sorted by key) into fresh pages.
+
+        Pages are filled to ``fill_factor`` of their usable space so that
+        later insertions usually fit without splitting, then written with
+        large sequential I/Os.  Returns sparse-index entries
+        ``(first_key, page_no)`` for every page written.
+        """
+        if not 0.0 < fill_factor <= 1.0:
+            raise StorageError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        index_entries: list[tuple[int, int]] = []
+        chunk = bytearray()
+        page = SlottedPage(self.page_size, timestamp=timestamp)
+        page_no = 0
+        budget = int((self.page_size - 24) * fill_factor)
+        used = 0
+        first_key: Optional[int] = None
+        last_key: Optional[int] = None
+
+        def close_page() -> None:
+            nonlocal page, page_no, used, first_key
+            chunk.extend(page.to_bytes())
+            index_entries.append((first_key if first_key is not None else 0, page_no))
+            page_no += 1
+            if len(chunk) >= self.io_chunk:
+                self._flush_chunk(page_no - len(chunk) // self.page_size, chunk)
+                chunk.clear()
+            page = SlottedPage(self.page_size, timestamp=timestamp)
+            used = 0
+            first_key = None
+
+        for record in records:
+            key = self.schema.key(record)
+            if last_key is not None and key < last_key:
+                raise StorageError(
+                    f"bulk_load requires key order (saw {key} after {last_key})"
+                )
+            last_key = key
+            data = self.schema.pack(record)
+            cost = len(data) + 8  # record plus slot entry
+            if used + cost > budget or not page.fits(len(data)):
+                if used == 0:
+                    raise PageError(
+                        f"record of {len(data)} bytes exceeds page budget {budget}"
+                    )
+                close_page()
+            page.insert(data)
+            used += cost
+            if first_key is None:
+                first_key = key
+        if used > 0 or page_no == 0:
+            close_page()
+        if chunk:
+            self._flush_chunk(page_no - len(chunk) // self.page_size, chunk)
+        self.num_pages = page_no
+        return index_entries
+
+    def _flush_chunk(self, start_page: int, chunk: bytearray) -> None:
+        offset = start_page * self.page_size
+        if offset + len(chunk) > self.file.size:
+            raise StorageError(
+                f"heap file {self.file.name!r} overflow: need "
+                f"{offset + len(chunk)} bytes, extent is {self.file.size}"
+            )
+        self.file.write(offset, bytes(chunk))
+
+    # ------------------------------------------------------------ page I/O
+    def read_page(self, page_no: int) -> SlottedPage:
+        """Read one page with a single small (random) I/O."""
+        self._check_page(page_no)
+        data = self.file.read(page_no * self.page_size, self.page_size)
+        return SlottedPage.from_bytes(data)
+
+    def write_page(self, page_no: int, page: SlottedPage) -> None:
+        """Write one page back in place."""
+        self._check_page(page_no, allow_append=True)
+        self.file.write(page_no * self.page_size, page.to_bytes())
+        if page_no >= self.num_pages:
+            self.num_pages = page_no + 1
+
+    def scan_pages(
+        self, first_page: int = 0, last_page: Optional[int] = None
+    ) -> Iterator[tuple[int, SlottedPage]]:
+        """Yield (page_no, page) over a page range using large chunked reads."""
+        if last_page is None:
+            last_page = self.num_pages - 1
+        if self.num_pages == 0 or last_page < first_page:
+            return
+        self._check_page(first_page)
+        last_page = min(last_page, self.num_pages - 1)
+        page_no = first_page
+        while page_no <= last_page:
+            count = min(self.pages_per_chunk, last_page - page_no + 1)
+            data = self.file.read(page_no * self.page_size, count * self.page_size)
+            for i in range(count):
+                raw = data[i * self.page_size : (i + 1) * self.page_size]
+                yield page_no + i, SlottedPage.from_bytes(raw)
+            page_no += count
+
+    def write_pages_sequential(self, start_page: int, pages: Sequence[SlottedPage]) -> None:
+        """Write consecutive pages with one large I/O (migration write-back)."""
+        if not pages:
+            return
+        self._check_page(start_page, allow_append=True)
+        data = b"".join(page.to_bytes() for page in pages)
+        if (start_page * self.page_size) + len(data) > self.file.size:
+            raise StorageError(f"sequential write overflows {self.file.name!r}")
+        self.file.write(start_page * self.page_size, data)
+        end = start_page + len(pages)
+        if end > self.num_pages:
+            self.num_pages = end
+
+    def truncate(self, num_pages: int) -> None:
+        """Shrink the logical page count (migration produced fewer pages)."""
+        if num_pages < 0 or num_pages > self.capacity_pages:
+            raise StorageError(f"cannot truncate to {num_pages} pages")
+        self.num_pages = num_pages
+
+    def _check_page(self, page_no: int, allow_append: bool = False) -> None:
+        limit = self.capacity_pages if allow_append else self.num_pages
+        if not 0 <= page_no < max(limit, 1):
+            raise StorageError(
+                f"page {page_no} out of range ({limit} pages in {self.file.name!r})"
+            )
+
+    @staticmethod
+    def required_size(
+        record_count: int,
+        schema: Schema,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+        slack: float = 0.25,
+    ) -> int:
+        """Extent size to hold ``record_count`` records plus insertion slack."""
+        per_record = schema.record_size + 8
+        budget = int((page_size - 24) * fill_factor)
+        per_page = max(1, budget // per_record)
+        pages = ceil_div(record_count, per_page)
+        return int(pages * (1.0 + slack) + 2) * page_size

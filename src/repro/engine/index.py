@@ -1,0 +1,75 @@
+"""Sparse primary-key index over a heap file.
+
+One ``(first_key, page_no)`` entry per page, kept sorted; the usual companion
+of key-clustered storage.  This is the structure the paper assumes exists for
+locating records by primary key (and the one migration refreshes as it
+rewrites pages, Section 3.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional
+
+from repro.errors import KeyNotFoundError
+
+
+class SparsePrimaryIndex:
+    """Maps a key to the page that could contain it.
+
+    Entries must describe consecutive pages of a key-clustered file: page
+    ``i``'s ``first_key`` is <= every key stored on page ``i``.
+    """
+
+    def __init__(self, entries: Optional[Iterable[tuple[int, int]]] = None):
+        self._keys: list[int] = []
+        self._pages: list[int] = []
+        if entries:
+            self.rebuild(entries)
+
+    def rebuild(self, entries: Iterable[tuple[int, int]]) -> None:
+        """Replace the whole index (bulk load or post-migration refresh)."""
+        pairs = sorted(entries, key=lambda e: e[1])  # page order
+        keys = [k for k, _ in pairs]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("sparse index entries must be key-ordered by page")
+        self._keys = keys
+        self._pages = [p for _, p in pairs]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._keys
+
+    def locate_page(self, key: int) -> int:
+        """Page number whose key range covers ``key``.
+
+        Raises :class:`KeyNotFoundError` on an empty index; a key smaller
+        than the first page's first key maps to the first page (it simply
+        won't be found there).
+        """
+        if not self._keys:
+            raise KeyNotFoundError("index is empty")
+        pos = bisect.bisect_right(self._keys, key) - 1
+        if pos < 0:
+            pos = 0
+        return self._pages[pos]
+
+    def page_span(self, begin_key: int, end_key: int) -> tuple[int, int]:
+        """Inclusive (first_page, last_page) covering keys in [begin, end]."""
+        if end_key < begin_key:
+            raise ValueError(f"empty key range [{begin_key}, {end_key}]")
+        if not self._keys:
+            raise KeyNotFoundError("index is empty")
+        first = self.locate_page(begin_key)
+        last = self.locate_page(end_key)
+        return first, last
+
+    def first_key_of(self, page_no: int) -> int:
+        pos = self._pages.index(page_no)
+        return self._keys[pos]
+
+    def entries(self) -> list[tuple[int, int]]:
+        return list(zip(self._keys, self._pages))

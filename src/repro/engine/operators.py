@@ -1,0 +1,190 @@
+"""Volcano-style query operators (Graefe [9] in the paper).
+
+MaSM hides behind the ``Table_range_scan`` interface: the storage manager
+swaps the plain scan for a merge tree without the query processor noticing
+(Section 3.2).  The small operator algebra here is what examples and the
+TPC-H replay build their plans from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.engine.record import Schema
+from repro.engine.table import Table
+
+
+class Operator:
+    """Base iterator-model operator: open / next / close.
+
+    Operators are also Python iterables; iterating opens them on first use
+    and closes them when exhausted.
+    """
+
+    def open(self) -> None:
+        """Prepare the operator (default: nothing)."""
+
+    def next(self) -> Optional[tuple]:
+        """Return the next record, or None when exhausted."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (default: nothing)."""
+
+    def __iter__(self) -> Iterator[tuple]:
+        self.open()
+        try:
+            while True:
+                record = self.next()
+                if record is None:
+                    return
+                yield record
+        finally:
+            self.close()
+
+
+class TableRangeScan(Operator):
+    """The plain range scan MaSM replaces: records in key order from disk."""
+
+    def __init__(self, table: Table, begin_key: int, end_key: int) -> None:
+        self.table = table
+        self.begin_key = begin_key
+        self.end_key = end_key
+        self._source: Optional[Iterator[tuple]] = None
+
+    def open(self) -> None:
+        self._source = self.table.range_scan(self.begin_key, self.end_key)
+
+    def next(self) -> Optional[tuple]:
+        if self._source is None:
+            self.open()
+        assert self._source is not None
+        return next(self._source, None)
+
+    def close(self) -> None:
+        self._source = None
+
+
+class IterSource(Operator):
+    """Adapts any record iterable into an operator (tests, private buffers)."""
+
+    def __init__(self, records: Iterable[tuple]) -> None:
+        self._records = records
+        self._source: Optional[Iterator[tuple]] = None
+
+    def open(self) -> None:
+        self._source = iter(self._records)
+
+    def next(self) -> Optional[tuple]:
+        if self._source is None:
+            self.open()
+        assert self._source is not None
+        return next(self._source, None)
+
+
+class Filter(Operator):
+    """Keeps records satisfying a predicate."""
+
+    def __init__(self, child: Operator, predicate: Callable[[tuple], bool]):
+        self.child = child
+        self.predicate = predicate
+
+    def open(self) -> None:
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        while True:
+            record = self.child.next()
+            if record is None:
+                return None
+            if self.predicate(record):
+                return record
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class Project(Operator):
+    """Narrows records to the named fields of a schema."""
+
+    def __init__(self, child: Operator, schema: Schema, fields: Sequence[str]):
+        self.child = child
+        self._positions = [schema.index_of(name) for name in fields]
+
+    def open(self) -> None:
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        record = self.child.next()
+        if record is None:
+            return None
+        return tuple(record[i] for i in self._positions)
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class Limit(Operator):
+    """Stops after ``n`` records."""
+
+    def __init__(self, child: Operator, n: int) -> None:
+        self.child = child
+        self.n = n
+        self._seen = 0
+
+    def open(self) -> None:
+        self._seen = 0
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        if self._seen >= self.n:
+            return None
+        record = self.child.next()
+        if record is not None:
+            self._seen += 1
+        return record
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class Aggregate(Operator):
+    """Full-input aggregate producing a single tuple of reducer outputs.
+
+    Each reducer is ``(initial, step)`` where ``step(acc, record) -> acc``.
+    """
+
+    def __init__(self, child: Operator, reducers: Sequence[tuple]) -> None:
+        self.child = child
+        self.reducers = list(reducers)
+        self._done = False
+
+    def open(self) -> None:
+        self._done = False
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        if self._done:
+            return None
+        accs = [initial for initial, _ in self.reducers]
+        while True:
+            record = self.child.next()
+            if record is None:
+                break
+            for i, (_, step) in enumerate(self.reducers):
+                accs[i] = step(accs[i], record)
+        self._done = True
+        return tuple(accs)
+
+    def close(self) -> None:
+        self.child.close()
+
+
+def count_reducer() -> tuple:
+    """Reducer counting records, for :class:`Aggregate`."""
+    return 0, lambda acc, _record: acc + 1
+
+
+def sum_reducer(position: int) -> tuple:
+    """Reducer summing a field by tuple position, for :class:`Aggregate`."""
+    return 0, lambda acc, record: acc + record[position]

@@ -1,0 +1,204 @@
+"""Slotted data pages with a page timestamp in the LSN field.
+
+Layout (little-endian)::
+
+    0            8            12           16          20
+    +------------+------------+------------+-----------+----------------
+    | timestamp  | slot_count | free_start | free_end  | record heap ...
+    +------------+------------+------------+-----------+----------------
+                                    ... slot directory grows downward from
+                                        the page end: (offset u32, len u32)
+
+The 8-byte *timestamp* reuses what a conventional engine stores as the page
+LSN (Section 3.2): it records the commit timestamp of the last update applied
+to the page, which is how in-place migration decides whether a cached update
+has already been applied.
+
+Deleted slots keep their directory entry with offset ``0xFFFFFFFF`` so slot
+numbers (RIDs) remain stable; compaction rewrites the heap but preserves the
+directory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import PageError
+
+HEADER = struct.Struct("<QIII")  # timestamp, slot_count, free_start, free_end
+SLOT = struct.Struct("<II")  # record offset, record length
+TOMBSTONE = 0xFFFFFFFF
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class SlottedPage:
+    """A single slotted page manipulated entirely in memory.
+
+    Pages are created empty (:meth:`__init__`) or parsed from bytes
+    (:meth:`from_bytes`) and serialized with :meth:`to_bytes`.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, timestamp: int = 0):
+        if page_size < HEADER.size + SLOT.size + 1:
+            raise PageError(f"page size {page_size} too small")
+        self.page_size = page_size
+        self.timestamp = timestamp
+        self._slots: list[tuple[int, int]] = []  # (offset, length)
+        self._heap = bytearray()
+        self._heap_base = HEADER.size
+
+    # ---------------------------------------------------------------- sizing
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def live_count(self) -> int:
+        """Slots that are not tombstoned."""
+        return sum(1 for offset, _ in self._slots if offset != TOMBSTONE)
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record *and* its slot entry."""
+        used = HEADER.size + len(self._heap) + SLOT.size * len(self._slots)
+        return self.page_size - used
+
+    def fits(self, record_len: int) -> bool:
+        return record_len + SLOT.size <= self.free_space
+
+    # ------------------------------------------------------------ record ops
+    def insert(self, record: bytes) -> int:
+        """Append a record; returns its slot number. Raises if it won't fit."""
+        if not self.fits(len(record)):
+            raise PageError(
+                f"record of {len(record)} bytes does not fit "
+                f"(free={self.free_space})"
+            )
+        offset = self._heap_base + len(self._heap)
+        self._heap.extend(record)
+        self._slots.append((offset, len(record)))
+        return len(self._slots) - 1
+
+    def get(self, slot: int) -> bytes:
+        offset, length = self._slot_entry(slot)
+        if offset == TOMBSTONE:
+            raise PageError(f"slot {slot} is deleted")
+        start = offset - self._heap_base
+        return bytes(self._heap[start : start + length])
+
+    def is_deleted(self, slot: int) -> bool:
+        offset, _ = self._slot_entry(slot)
+        return offset == TOMBSTONE
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot (space is reclaimed by :meth:`compact`)."""
+        offset, length = self._slot_entry(slot)
+        if offset == TOMBSTONE:
+            raise PageError(f"slot {slot} already deleted")
+        self._slots[slot] = (TOMBSTONE, length)
+
+    def replace(self, slot: int, record: bytes) -> None:
+        """Overwrite a slot's record.
+
+        Same-length replacements are done in place; a different length
+        appends to the heap (the old bytes become garbage until compaction).
+        """
+        offset, length = self._slot_entry(slot)
+        if offset == TOMBSTONE:
+            raise PageError(f"slot {slot} is deleted")
+        if len(record) == length:
+            start = offset - self._heap_base
+            self._heap[start : start + length] = record
+            return
+        growth = len(record)
+        if growth + 0 > self.free_space:
+            raise PageError(
+                f"replacement of {growth} bytes does not fit (free={self.free_space})"
+            )
+        new_offset = self._heap_base + len(self._heap)
+        self._heap.extend(record)
+        self._slots[slot] = (new_offset, len(record))
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield (slot, record_bytes) for every live slot, in slot order."""
+        for slot in range(len(self._slots)):
+            offset, length = self._slots[slot]
+            if offset == TOMBSTONE:
+                continue
+            start = offset - self._heap_base
+            yield slot, bytes(self._heap[start : start + length])
+
+    def compact(self) -> None:
+        """Rewrite the heap dropping dead space; slot numbers are preserved."""
+        heap = bytearray()
+        slots: list[tuple[int, int]] = []
+        for offset, length in self._slots:
+            if offset == TOMBSTONE:
+                slots.append((TOMBSTONE, length))
+                continue
+            start = offset - self._heap_base
+            new_offset = self._heap_base + len(heap)
+            heap.extend(self._heap[start : start + length])
+            slots.append((new_offset, length))
+        self._heap = heap
+        self._slots = slots
+
+    # --------------------------------------------------------- serialization
+    def to_bytes(self) -> bytes:
+        free_start = self._heap_base + len(self._heap)
+        free_end = self.page_size - SLOT.size * len(self._slots)
+        if free_end < free_start:
+            raise PageError("page overflow during serialization")
+        buf = bytearray(self.page_size)
+        HEADER.pack_into(buf, 0, self.timestamp, len(self._slots), free_start, free_end)
+        buf[self._heap_base : free_start] = self._heap
+        pos = self.page_size - SLOT.size
+        for offset, length in self._slots:
+            SLOT.pack_into(buf, pos, offset, length)
+            pos -= SLOT.size
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SlottedPage":
+        if len(data) < HEADER.size:
+            raise PageError(f"page of {len(data)} bytes is too small to parse")
+        timestamp, slot_count, free_start, free_end = HEADER.unpack_from(data, 0)
+        page = cls(page_size=len(data), timestamp=timestamp)
+        if free_start < HEADER.size or free_start > len(data):
+            raise PageError("corrupt page header (free_start)")
+        expected_end = len(data) - SLOT.size * slot_count
+        if free_end != expected_end or free_end < free_start:
+            raise PageError("corrupt page header (free_end)")
+        page._heap = bytearray(data[HEADER.size : free_start])
+        pos = len(data) - SLOT.size
+        for _ in range(slot_count):
+            offset, length = SLOT.unpack_from(data, pos)
+            if offset != TOMBSTONE and (
+                offset < HEADER.size or offset + length > free_start
+            ):
+                raise PageError("corrupt slot entry")
+            page._slots.append((offset, length))
+            pos -= SLOT.size
+        return page
+
+    # -------------------------------------------------------------- internal
+    def _slot_entry(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < len(self._slots):
+            raise PageError(f"slot {slot} out of range (count={len(self._slots)})")
+        return self._slots[slot]
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlottedPage(ts={self.timestamp}, slots={self.slot_count}, "
+            f"live={self.live_count}, free={self.free_space})"
+        )
+
+
+def empty_page_bytes(page_size: int = DEFAULT_PAGE_SIZE) -> bytes:
+    """Serialized form of a fresh page (used to format heap files)."""
+    return SlottedPage(page_size).to_bytes()

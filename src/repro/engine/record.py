@@ -1,0 +1,159 @@
+"""Record schemas and fixed-width binary serialization.
+
+Tables in this reproduction follow the paper's synthetic setup (Section 4.1):
+fixed-width records (100 bytes with a 4-byte integer primary key in the range
+scan study) clustered on the primary key.  A :class:`Schema` describes the
+fields, packs record tuples to bytes, and unpacks them back.
+
+Field type codes:
+    ``u32`` / ``u64``  — unsigned integers (4 / 8 bytes)
+    ``i64``            — signed integer (8 bytes)
+    ``f64``            — IEEE double (8 bytes)
+    ``s<N>``           — UTF-8 string padded with NULs to exactly N bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+
+_STRUCT_CODES = {"u32": "I", "u64": "Q", "i64": "q", "f64": "d"}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column: a name and a type code (see module docstring)."""
+
+    name: str
+    type_code: str
+
+    @property
+    def is_string(self) -> bool:
+        return self.type_code.startswith("s")
+
+    @property
+    def width(self) -> int:
+        if self.is_string:
+            return int(self.type_code[1:])
+        return struct.calcsize("<" + _STRUCT_CODES[self.type_code])
+
+    def struct_code(self) -> str:
+        if self.is_string:
+            return f"{int(self.type_code[1:])}s"
+        return _STRUCT_CODES[self.type_code]
+
+
+class Schema:
+    """An ordered set of fields; the first field is the clustering key
+    unless ``key`` names another field.
+
+    Records are plain tuples in field order — cheap, hashable, and easy for
+    tests to construct.  The schema provides all interpretation.
+    """
+
+    def __init__(self, fields: Sequence[tuple[str, str]], key: str | None = None):
+        if not fields:
+            raise SchemaError("a schema needs at least one field")
+        self.fields = [Field(name, code) for name, code in fields]
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in {names}")
+        for f in self.fields:
+            if not f.is_string and f.type_code not in _STRUCT_CODES:
+                raise SchemaError(f"unknown field type {f.type_code!r}")
+        self._index = {f.name: i for i, f in enumerate(self.fields)}
+        self.key_field = key if key is not None else self.fields[0].name
+        if self.key_field not in self._index:
+            raise SchemaError(f"key field {self.key_field!r} not in schema")
+        self.key_pos = self._index[self.key_field]
+        self._struct = struct.Struct("<" + "".join(f.struct_code() for f in self.fields))
+        self.record_size = self._struct.size
+
+    # ----------------------------------------------------------- field access
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no field named {name!r}") from None
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def key(self, record: Sequence) -> int:
+        """The clustering-key value of a record tuple."""
+        return record[self.key_pos]
+
+    # --------------------------------------------------------- (de)serialize
+    def pack(self, record: Sequence) -> bytes:
+        """Serialize a record tuple to its fixed-width binary form."""
+        if len(record) != len(self.fields):
+            raise SchemaError(
+                f"record has {len(record)} values, schema has {len(self.fields)}"
+            )
+        prepared = []
+        for field, value in zip(self.fields, record):
+            if field.is_string:
+                raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+                if len(raw) > field.width:
+                    raise SchemaError(
+                        f"value for {field.name!r} is {len(raw)} bytes, "
+                        f"field holds {field.width}"
+                    )
+                prepared.append(raw)
+            else:
+                prepared.append(value)
+        try:
+            return self._struct.pack(*prepared)
+        except struct.error as exc:
+            raise SchemaError(f"cannot pack record {record!r}: {exc}") from exc
+
+    def unpack(self, data: bytes) -> tuple:
+        """Deserialize bytes produced by :meth:`pack` back into a tuple."""
+        if len(data) != self.record_size:
+            raise SchemaError(
+                f"expected {self.record_size} bytes, got {len(data)}"
+            )
+        values = self._struct.unpack(data)
+        out = []
+        for field, value in zip(self.fields, values):
+            if field.is_string:
+                out.append(value.rstrip(b"\x00").decode("utf-8"))
+            else:
+                out.append(value)
+        return tuple(out)
+
+    def pack_many(self, records: Iterable[Sequence]) -> bytes:
+        """Serialize records back-to-back (bulk-load fast path)."""
+        return b"".join(self.pack(r) for r in records)
+
+    def apply_modification(self, record: tuple, changes: dict) -> tuple:
+        """Return a copy of ``record`` with named fields set to new values."""
+        values = list(record)
+        for name, value in changes.items():
+            values[self.index_of(name)] = value
+        return tuple(values)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Schema)
+            and self.fields == other.fields
+            and self.key_field == other.key_field
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spec = ", ".join(f"{f.name}:{f.type_code}" for f in self.fields)
+        return f"Schema({spec}; key={self.key_field})"
+
+
+def synthetic_schema(record_size: int = 100) -> Schema:
+    """The synthetic table of Section 4.1: 4-byte key + payload filler.
+
+    ``record_size`` must leave room for the key (default 100 bytes total).
+    """
+    payload = record_size - 4
+    if payload < 1:
+        raise SchemaError(f"record_size {record_size} too small for a u32 key")
+    return Schema([("key", "u32"), ("payload", f"s{payload}")])

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+Every error the library raises deliberately derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """A simulated storage device or file rejected an operation."""
+
+
+class OutOfSpaceError(StorageError):
+    """An allocation exceeded the capacity of a device or file."""
+
+
+class PageError(ReproError):
+    """A slotted page operation failed (overflow, bad slot, corruption)."""
+
+
+class SchemaError(ReproError):
+    """A record did not conform to its table schema."""
+
+
+class KeyNotFoundError(ReproError):
+    """A lookup referenced a primary key that does not exist."""
+
+
+class DuplicateKeyError(ReproError):
+    """An insert used a primary key that already exists."""
+
+
+class UpdateCacheFullError(ReproError):
+    """The SSD update cache is full and migration has not freed space."""
+
+
+class TransactionError(ReproError):
+    """A transaction violated the concurrency-control protocol."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (conflict, deadlock, or explicit abort)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery encountered an inconsistent or truncated log."""
+
+
+class BenchmarkError(ReproError):
+    """An experiment driver was configured inconsistently."""

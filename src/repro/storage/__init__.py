@@ -1,0 +1,50 @@
+"""Simulated storage substrate: clock, HDD/SSD device models, files, overlap.
+
+See DESIGN.md ("Hardware substitution") for how these models stand in for the
+paper's physical testbed while preserving the behaviours the evaluation
+measures.
+"""
+
+from repro.storage.clock import SimClock
+from repro.storage.device import (
+    BARRACUDA_HDD,
+    X25E_SSD,
+    BlockStore,
+    Device,
+    DeviceProfile,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import SimFile, StorageVolume
+from repro.storage.iosched import (
+    MERGE_CPU_PER_UPDATE,
+    SCAN_CPU_PER_RECORD,
+    CpuMeter,
+    OverlapWindow,
+    TimeBreakdown,
+    combine_serial,
+    measure,
+)
+from repro.storage.ssd import SYNC_READ_OVERHEAD, SimulatedSSD
+from repro.storage.stats import IOStats
+
+__all__ = [
+    "BARRACUDA_HDD",
+    "X25E_SSD",
+    "SYNC_READ_OVERHEAD",
+    "MERGE_CPU_PER_UPDATE",
+    "SCAN_CPU_PER_RECORD",
+    "BlockStore",
+    "CpuMeter",
+    "Device",
+    "DeviceProfile",
+    "IOStats",
+    "OverlapWindow",
+    "SimClock",
+    "SimFile",
+    "SimulatedDisk",
+    "SimulatedSSD",
+    "StorageVolume",
+    "TimeBreakdown",
+    "combine_serial",
+    "measure",
+]

@@ -1,0 +1,48 @@
+"""Simulated wall clock shared by an experiment.
+
+The repro library separates *what happens* (bytes actually stored and moved,
+so correctness is real) from *how long it takes* (service times computed by
+analytic device models, so a "100 GB" experiment finishes in milliseconds of
+host time).  :class:`SimClock` is the single timeline an experiment advances
+as simulated work completes.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock, in seconds.
+
+    The clock never moves backwards; :meth:`advance` with a negative delta is
+    rejected because it always indicates an accounting bug in a device model.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the experiment started."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock forward to ``when`` if it is in the future."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def reset(self) -> None:
+        """Restart the timeline at zero (used between benchmark repetitions)."""
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f}s)"

@@ -1,0 +1,80 @@
+"""I/O accounting shared by all simulated devices.
+
+Every device keeps an :class:`IOStats`; experiments snapshot it before and
+after a measured region and diff the snapshots.  Busy time is the integral of
+device service time, which is what the overlap model in
+:mod:`repro.storage.iosched` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class IOStats:
+    """Cumulative counters for one device.
+
+    Attributes:
+        reads: number of read operations serviced.
+        writes: number of write operations serviced.
+        bytes_read: payload bytes returned by reads.
+        bytes_written: payload bytes accepted by writes.
+        seq_reads / seq_writes: operations that continued the previous
+            access position (no repositioning cost).
+        rand_reads / rand_writes: operations that required repositioning.
+        busy_time: total seconds the device spent servicing requests.
+        seek_time: seconds of ``busy_time`` spent repositioning (HDD only).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seq_reads: int = 0
+    seq_writes: int = 0
+    rand_reads: int = 0
+    rand_writes: int = 0
+    busy_time: float = 0.0
+    seek_time: float = 0.0
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Return the counters accumulated since ``earlier`` was snapshotted."""
+        return IOStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def ops(self) -> int:
+        """Total read + write operations."""
+        return self.reads + self.writes
+
+    @property
+    def bytes_total(self) -> int:
+        """Total payload bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used by example scripts."""
+        from repro.util.units import fmt_bytes, fmt_time
+
+        return (
+            f"{self.reads} reads ({fmt_bytes(self.bytes_read)}), "
+            f"{self.writes} writes ({fmt_bytes(self.bytes_written)}), "
+            f"busy {fmt_time(self.busy_time)}"
+        )

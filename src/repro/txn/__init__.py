@@ -1,0 +1,35 @@
+"""Transaction support: timestamps, logging, recovery, isolation (Section 3.6).
+
+Submodule attributes are resolved lazily (PEP 562) because recovery and the
+transaction managers import :mod:`repro.core`, which itself needs
+:mod:`repro.txn.timestamps` — eager re-exports would create an import cycle.
+"""
+
+from repro.txn.timestamps import TimestampOracle
+
+_LAZY = {
+    "LockManager": "repro.txn.locks",
+    "LockMode": "repro.txn.locks",
+    "LockingTransaction": "repro.txn.transactions",
+    "LogRecord": "repro.txn.log",
+    "LogRecordType": "repro.txn.log",
+    "RecoveryReport": "repro.txn.recovery",
+    "RedoLog": "repro.txn.log",
+    "SnapshotManager": "repro.txn.snapshot",
+    "SnapshotTransaction": "repro.txn.snapshot",
+    "TransactionManager": "repro.txn.transactions",
+    "rebuild_table_index": "repro.txn.recovery",
+    "recover_masm": "repro.txn.recovery",
+}
+
+__all__ = ["TimestampOracle", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.txn' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,143 @@
+"""A shared/exclusive lock manager with deadlock detection (Section 3.6).
+
+Used by the two-phase-locking transaction mode: shared locks protect reads,
+exclusive locks protect writes, and an update becomes globally visible only
+when its exclusive lock is released.  Deadlocks are detected on a wait-for
+graph; the requester that would close a cycle is aborted (raising
+:class:`DeadlockError`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable, Optional
+
+from repro.errors import DeadlockError, TransactionError
+
+
+class LockMode(Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    mode: Optional[LockMode] = None
+    holders: set = field(default_factory=set)
+    waiters: list = field(default_factory=list)  # (owner, mode)
+
+
+class LockManager:
+    """Blocking S/X locks keyed by any hashable resource id."""
+
+    def __init__(self, timeout: float = 5.0) -> None:
+        self._locks: dict[Hashable, _LockState] = {}
+        self._held: dict[Hashable, set[Hashable]] = {}  # owner -> resources
+        self._waits_for: dict[Hashable, set[Hashable]] = {}  # owner -> owners
+        self._cond = threading.Condition()
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ acquiring
+    def _compatible(self, state: _LockState, owner: Hashable, mode: LockMode) -> bool:
+        if not state.holders or state.holders == {owner}:
+            return True
+        if mode == LockMode.SHARED and state.mode == LockMode.SHARED:
+            return True
+        return False
+
+    def acquire(self, owner: Hashable, resource: Hashable, mode: LockMode) -> None:
+        """Acquire (or upgrade) a lock, blocking until granted.
+
+        Raises :class:`DeadlockError` if waiting would create a cycle, or
+        :class:`TransactionError` on timeout.
+        """
+        with self._cond:
+            state = self._locks.setdefault(resource, _LockState())
+            if owner in state.holders and (
+                state.mode == mode or mode == LockMode.SHARED
+            ):
+                return  # already held strongly enough
+            deadline = None
+            while not self._compatible(state, owner, mode):
+                blockers = state.holders - {owner}
+                self._waits_for[owner] = blockers
+                if self._would_deadlock(owner):
+                    self._waits_for.pop(owner, None)
+                    raise DeadlockError(
+                        f"{owner!r} waiting on {resource!r} closes a cycle"
+                    )
+                if deadline is None:
+                    deadline = time.monotonic() + self.timeout
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    self._waits_for.pop(owner, None)
+                    raise TransactionError(
+                        f"{owner!r} timed out waiting for {resource!r}"
+                    )
+            self._waits_for.pop(owner, None)
+            state.holders.add(owner)
+            if mode == LockMode.EXCLUSIVE:
+                state.mode = LockMode.EXCLUSIVE
+            elif state.mode is None:
+                state.mode = LockMode.SHARED
+            self._held.setdefault(owner, set()).add(resource)
+
+    def _would_deadlock(self, start: Hashable) -> bool:
+        """True if ``start`` transitively waits on itself via lock holders."""
+        seen = set()
+        frontier = set(self._waits_for.get(start, ()))
+        while frontier:
+            owner = frontier.pop()
+            if owner == start:
+                return True
+            if owner in seen:
+                continue
+            seen.add(owner)
+            # What is this owner waiting for?
+            frontier |= set(self._waits_for.get(owner, ()))
+        return False
+
+    # ------------------------------------------------------------- releasing
+    def release(self, owner: Hashable, resource: Hashable) -> None:
+        with self._cond:
+            state = self._locks.get(resource)
+            if state is None or owner not in state.holders:
+                raise TransactionError(f"{owner!r} does not hold {resource!r}")
+            state.holders.discard(owner)
+            if not state.holders:
+                state.mode = None
+            held = self._held.get(owner)
+            if held:
+                held.discard(resource)
+            self._cond.notify_all()
+
+    def release_all(self, owner: Hashable) -> None:
+        """Release every lock an owner holds (transaction end)."""
+        with self._cond:
+            for resource in list(self._held.get(owner, ())):
+                state = self._locks.get(resource)
+                if state is not None:
+                    state.holders.discard(owner)
+                    if not state.holders:
+                        state.mode = None
+            self._held.pop(owner, None)
+            self._waits_for.pop(owner, None)
+            self._cond.notify_all()
+
+    # --------------------------------------------------------------- queries
+    def holders(self, resource: Hashable) -> set:
+        with self._cond:
+            state = self._locks.get(resource)
+            return set(state.holders) if state else set()
+
+    def mode(self, resource: Hashable) -> Optional[LockMode]:
+        with self._cond:
+            state = self._locks.get(resource)
+            return state.mode if state and state.holders else None
+
+    def held_by(self, owner: Hashable) -> set:
+        with self._cond:
+            return set(self._held.get(owner, ()))

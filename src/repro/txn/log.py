@@ -1,0 +1,162 @@
+"""The redo log (Section 3.6, "Crash Recovery").
+
+MaSM only needs to recover the *in-memory* update buffer after a crash:
+materialized runs live on the (non-volatile) SSD, and migrations are
+idempotent thanks to page timestamps, so data-page changes are never logged.
+The log therefore carries three record kinds:
+
+* ``UPDATE``          — one well-formed update (timestamp, table, payload);
+* ``RUN_FLUSH``       — the buffer up to a timestamp became run ``name``;
+* ``MIGRATION_START`` / ``MIGRATION_END`` — bracketing records that let
+  recovery redo an interrupted migration.
+
+Records are length-prefixed and appended sequentially; the log is itself a
+file on a simulated device, so logging I/O is accounted like everything else.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, Optional
+
+from repro.core.update import UpdateCodec, UpdateRecord
+from repro.errors import RecoveryError
+from repro.storage.file import SimFile
+
+_FRAME = struct.Struct("<IB")  # payload length, record type
+
+
+class LogRecordType(IntEnum):
+    UPDATE = 1
+    RUN_FLUSH = 2
+    MIGRATION_START = 3
+    MIGRATION_END = 4
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One decoded log record; unused fields are None."""
+
+    type: LogRecordType
+    timestamp: int
+    table: Optional[str] = None
+    update: Optional[UpdateRecord] = None
+    run_name: Optional[str] = None
+    run_names: Optional[tuple[str, ...]] = None
+    key_range: Optional[tuple[int, int]] = None
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<H", data, offset)
+    start = offset + 2
+    return data[start : start + length].decode("utf-8"), start + length
+
+
+class RedoLog:
+    """Append-only redo log over a simulated file."""
+
+    def __init__(self, file: SimFile, codecs: Optional[dict[str, UpdateCodec]] = None):
+        self.file = file
+        #: table name -> codec, needed to decode UPDATE payloads on replay.
+        self.codecs = dict(codecs or {})
+        self.records_written = 0
+
+    def register_table(self, name: str, codec: UpdateCodec) -> None:
+        self.codecs[name] = codec
+
+    # ---------------------------------------------------------------- writes
+    def _append(self, rtype: LogRecordType, payload: bytes) -> None:
+        frame = _FRAME.pack(len(payload), int(rtype)) + payload
+        self.file.append(frame)
+        self.records_written += 1
+
+    def log_update(self, table: str, update: UpdateRecord) -> None:
+        codec = self.codecs.get(table)
+        if codec is None:
+            raise RecoveryError(f"no codec registered for table {table!r}")
+        self._append(
+            LogRecordType.UPDATE, _pack_str(table) + codec.encode(update)
+        )
+
+    def log_run_flush(self, table: str, run_name: str, max_ts: int) -> None:
+        payload = struct.pack("<Q", max_ts) + _pack_str(table) + _pack_str(run_name)
+        self._append(LogRecordType.RUN_FLUSH, payload)
+
+    def log_migration_start(
+        self,
+        timestamp: int,
+        run_names: list[str],
+        key_range: Optional[tuple[int, int]] = None,
+    ) -> None:
+        lo, hi = key_range if key_range is not None else (0, 2**63 - 1)
+        payload = struct.pack("<QqqH", timestamp, lo, hi, len(run_names))
+        for name in run_names:
+            payload += _pack_str(name)
+        self._append(LogRecordType.MIGRATION_START, payload)
+
+    def log_migration_end(self, timestamp: int) -> None:
+        self._append(LogRecordType.MIGRATION_END, struct.pack("<Q", timestamp))
+
+    # ----------------------------------------------------------------- reads
+    def records(self) -> Iterator[LogRecord]:
+        """Replay the log from the beginning (recovery path).
+
+        When the in-memory append cursor was lost with the crash, the log is
+        scanned until the first invalid frame (unwritten space reads as
+        zeroes, which no valid frame starts with).
+        """
+        end = self.file.append_pos or self.file.size
+        scanning = self.file.append_pos == 0
+        offset = 0
+        while offset < end:
+            if offset + _FRAME.size > end:
+                if scanning:
+                    return
+                raise RecoveryError("truncated log frame header")
+            header = self.file.read(offset, _FRAME.size)
+            length, rtype_raw = _FRAME.unpack(header)
+            if scanning and (rtype_raw == 0 or length == 0):
+                return  # end of written log
+            offset += _FRAME.size
+            if offset + length > end:
+                raise RecoveryError("truncated log record payload")
+            payload = self.file.read(offset, length)
+            offset += length
+            try:
+                rtype = LogRecordType(rtype_raw)
+            except ValueError as exc:
+                raise RecoveryError(f"corrupt log record type {rtype_raw}") from exc
+            yield self._decode(rtype, payload)
+
+    def _decode(self, rtype: LogRecordType, payload: bytes) -> LogRecord:
+        if rtype == LogRecordType.UPDATE:
+            table, pos = _unpack_str(payload, 0)
+            codec = self.codecs.get(table)
+            if codec is None:
+                raise RecoveryError(f"no codec registered for table {table!r}")
+            update, _ = codec.decode(payload, pos)
+            return LogRecord(rtype, update.timestamp, table=table, update=update)
+        if rtype == LogRecordType.RUN_FLUSH:
+            (max_ts,) = struct.unpack_from("<Q", payload, 0)
+            table, pos = _unpack_str(payload, 8)
+            run_name, _ = _unpack_str(payload, pos)
+            return LogRecord(rtype, max_ts, table=table, run_name=run_name)
+        if rtype == LogRecordType.MIGRATION_START:
+            timestamp, lo, hi, count = struct.unpack_from("<QqqH", payload, 0)
+            pos = struct.calcsize("<QqqH")
+            names = []
+            for _ in range(count):
+                name, pos = _unpack_str(payload, pos)
+                names.append(name)
+            return LogRecord(
+                rtype, timestamp, run_names=tuple(names), key_range=(lo, hi)
+            )
+        (timestamp,) = struct.unpack_from("<Q", payload, 0)
+        return LogRecord(rtype, timestamp)

@@ -1,0 +1,182 @@
+"""Crash recovery (Section 3.6).
+
+What survives a crash: the main data on disk, the materialized sorted runs
+on the (non-volatile) SSD, and the redo log.  What is lost: the in-memory
+update buffer, the in-memory run metadata (run indexes), and the table's
+sparse index.
+
+Recovery therefore
+
+1. reloads run metadata by scanning the run files on the SSD;
+2. replays the redo log, re-inserting into the in-memory buffer exactly the
+   updates newer than the last flushed timestamp ("use update timestamps to
+   distinguish updates in memory and updates on SSDs");
+3. redoes any migration whose START record has no matching END — safe
+   because migration is idempotent under the page-timestamp rule — and
+   deletes leftover run files of migrations that did complete;
+4. rebuilds the table's sparse index with one sequential scan;
+5. advances the timestamp oracle past everything it saw.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.sortedrun import load_run
+from repro.core.update import UpdateRecord
+from repro.engine.table import Table
+from repro.errors import RecoveryError
+from repro.storage.file import StorageVolume
+from repro.txn.log import LogRecordType, RedoLog
+from repro.txn.timestamps import TimestampOracle
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did, for assertions and operator visibility."""
+
+    runs_reloaded: int = 0
+    buffer_updates_replayed: int = 0
+    migrations_redone: int = 0
+    leftover_runs_deleted: int = 0
+    max_timestamp_seen: int = 0
+
+
+def rebuild_table_index(table: Table) -> None:
+    """Reconstruct the sparse primary index and row count by scanning.
+
+    When the surviving heap's logical length is unknown (``num_pages`` was
+    volatile), scanning stops at the first unparseable page: heap pages are
+    allocated contiguously from zero, so unformatted space marks the end.
+    """
+    from repro.errors import PageError
+
+    entries: list[tuple[int, int]] = []
+    rows = 0
+    pages = table.heap.scan_pages()
+    last_good = -1
+    while True:
+        try:
+            page_no, page = next(pages)
+        except StopIteration:
+            break
+        except PageError:
+            break  # unformatted space: end of the heap's data
+        first_key: Optional[int] = None
+        for _, data in page.records():
+            key = table.schema.key(table.schema.unpack(data))
+            first_key = key if first_key is None else min(first_key, key)
+            rows += 1
+        entries.append((first_key if first_key is not None else 0, page_no))
+        last_good = page_no
+    table.heap.num_pages = last_good + 1
+    # Empty trailing pages inherit the previous first key to stay ordered.
+    fixed: list[tuple[int, int]] = []
+    last_key = 0
+    for key, page_no in entries:
+        if not fixed:
+            last_key = key
+        elif key < last_key:
+            key = last_key
+        fixed.append((key, page_no))
+        last_key = key
+    table.replace_contents(fixed, rows)
+
+
+def recover_masm(
+    table: Table,
+    ssd_volume: StorageVolume,
+    redo_log: RedoLog,
+    config: Optional[MaSMConfig] = None,
+    oracle: Optional[TimestampOracle] = None,
+    name: Optional[str] = None,
+    rebuild_index: bool = True,
+) -> tuple[MaSM, RecoveryReport]:
+    """Reconstruct a MaSM instance after a crash.
+
+    ``table`` wraps the surviving heap file; ``ssd_volume`` still holds the
+    run files; ``redo_log`` is the surviving log.  Returns the recovered
+    engine and a :class:`RecoveryReport`.
+    """
+    report = RecoveryReport()
+    masm = MaSM(table, ssd_volume, config=config, oracle=oracle, name=name)
+    redo_log.register_table(table.name, masm.codec)
+    masm.redo_log = redo_log
+
+    if rebuild_index:
+        rebuild_table_index(table)
+
+    # ---- 1. reload run metadata from the SSD ------------------------------
+    pattern = re.compile(re.escape(masm.name) + r"-run-(\d+)$")
+    found: list[tuple[int, str]] = []
+    for file_name in ssd_volume:
+        match = pattern.match(file_name)
+        if match:
+            found.append((int(match.group(1)), file_name))
+    found.sort()
+    runs_by_name = {}
+    for seq, file_name in found:
+        run = load_run(
+            ssd_volume, file_name, masm.codec, block_size=masm.config.block_size
+        )
+        runs_by_name[file_name] = run
+        masm._run_seq = max(masm._run_seq, seq + 1)
+
+    # ---- 2/3. scan the log -------------------------------------------------
+    flushed_through = 0  # max update ts known to be in a run
+    pending: list[UpdateRecord] = []
+    open_migrations: dict[int, tuple[str, ...]] = {}
+    completed_migrations: list[tuple[str, ...]] = []
+    for record in redo_log.records():
+        report.max_timestamp_seen = max(report.max_timestamp_seen, record.timestamp)
+        if record.type == LogRecordType.UPDATE:
+            if record.table == table.name:
+                pending.append(record.update)
+        elif record.type == LogRecordType.RUN_FLUSH:
+            if record.table == table.name:
+                flushed_through = max(flushed_through, record.timestamp)
+        elif record.type == LogRecordType.MIGRATION_START:
+            open_migrations[record.timestamp] = record.run_names or ()
+        elif record.type == LogRecordType.MIGRATION_END:
+            names = open_migrations.pop(record.timestamp, None)
+            if names is None:
+                raise RecoveryError(
+                    f"migration end {record.timestamp} without a start record"
+                )
+            completed_migrations.append(names)
+
+    # Runs of completed migrations should be gone; delete leftovers (the
+    # crash may have hit between the END record and the deletion).
+    for names in completed_migrations:
+        for run_name in names:
+            run = runs_by_name.pop(run_name, None)
+            if run is not None:
+                ssd_volume.delete(run_name)
+                report.leftover_runs_deleted += 1
+
+    masm.runs.extend(run for _name, run in sorted(runs_by_name.items()))
+    report.runs_reloaded = len(masm.runs)
+
+    # ---- 2. rebuild the in-memory buffer ----------------------------------
+    for update in pending:
+        if update.timestamp > flushed_through:
+            if masm.buffer.would_overflow(update):
+                masm._handle_full_buffer()
+            masm.buffer.append(update)
+            masm.stats.updates_ingested += 1
+            report.buffer_updates_replayed += 1
+
+    # ---- 5. the oracle must move past everything seen ----------------------
+    masm.oracle.advance_past(report.max_timestamp_seen)
+
+    # ---- 3. redo interrupted migrations ------------------------------------
+    # Idempotent: pages already rewritten carry timestamps >= the updates.
+    for start_ts in sorted(open_migrations):
+        if masm.runs:
+            masm.migrate()
+            report.migrations_redone += 1
+
+    return masm, report

@@ -1,0 +1,145 @@
+"""Snapshot isolation over MaSM (Section 3.6).
+
+A transaction works on the snapshot of data as of its start timestamp; its
+own updates live in a small private buffer merged into its reads.  On
+commit, first-committer-wins: if another transaction committed a write to an
+overlapping key after this transaction started, it aborts.  On success the
+private updates get the commit timestamp and move to MaSM's global buffer —
+exactly the scheme the paper sketches.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.core.masm import MaSM
+from repro.core.operators import MergeDataUpdates, MergeUpdates
+from repro.core.update import UpdateRecord, UpdateType, combine
+from repro.errors import TransactionAborted, TransactionError
+
+
+class SnapshotManager:
+    """Coordinates snapshot-isolated transactions over one MaSM engine."""
+
+    def __init__(self, masm: MaSM, committed_history: int = 10_000) -> None:
+        self.masm = masm
+        self.oracle = masm.oracle
+        # (commit_ts, frozenset(keys)) of recent committers, for conflicts.
+        self._committed: list[tuple[int, frozenset]] = []
+        self._history = committed_history
+        self._lock = threading.Lock()
+
+    def begin(self) -> "SnapshotTransaction":
+        return SnapshotTransaction(self, self.oracle.next())
+
+    # ------------------------------------------------------------- internals
+    def _conflicts(self, start_ts: int, keys: frozenset) -> bool:
+        with self._lock:
+            for commit_ts, committed_keys in reversed(self._committed):
+                if commit_ts <= start_ts:
+                    break
+                if keys & committed_keys:
+                    return True
+        return False
+
+    def _record_commit(self, commit_ts: int, keys: frozenset) -> None:
+        with self._lock:
+            self._committed.append((commit_ts, keys))
+            if len(self._committed) > self._history:
+                del self._committed[: self._history // 2]
+
+
+class SnapshotTransaction:
+    """One snapshot-isolated transaction with a private update buffer."""
+
+    def __init__(self, manager: SnapshotManager, start_ts: int) -> None:
+        self.manager = manager
+        self.start_ts = start_ts
+        self.schema = manager.masm.table.schema
+        self._writes: dict[int, UpdateRecord] = {}  # key -> combined update
+        self._done = False
+
+    # ---------------------------------------------------------------- writes
+    def _stage(self, update: UpdateRecord) -> None:
+        if self._done:
+            raise TransactionError("transaction already finished")
+        prior = self._writes.get(update.key)
+        if prior is None:
+            self._writes[update.key] = update
+        else:
+            self._writes[update.key] = combine(prior, update, self.schema)
+
+    def insert(self, record: tuple) -> None:
+        key = self.schema.key(record)
+        self._stage(UpdateRecord(self.start_ts, key, UpdateType.INSERT, record))
+
+    def delete(self, key: int) -> None:
+        self._stage(UpdateRecord(self.start_ts, key, UpdateType.DELETE, None))
+
+    def modify(self, key: int, changes: dict) -> None:
+        self._stage(
+            UpdateRecord(self.start_ts, key, UpdateType.MODIFY, dict(changes))
+        )
+
+    # ----------------------------------------------------------------- reads
+    def range_scan(self, begin_key: int, end_key: int) -> Iterator[tuple]:
+        """Records as of the snapshot, plus this transaction's own writes.
+
+        Implemented per the paper: a Mem_scan over the private buffer is
+        added to the query's operator tree.
+        """
+        if self._done:
+            raise TransactionError("transaction already finished")
+        base = self.manager.masm.range_scan(
+            begin_key, end_key, query_ts=self.start_ts
+        )
+        own = sorted(
+            (u for k, u in self._writes.items() if begin_key <= k <= end_key),
+            key=UpdateRecord.sort_key,
+        )
+        if not own:
+            return base
+
+        def pairs() -> Iterator[tuple[tuple, int]]:
+            # The snapshot records act as the "data"; page timestamps are
+            # irrelevant here because private writes are never migrated.
+            for record in base:
+                yield record, 0
+        updates = MergeUpdates([own], self.schema)
+        return iter(MergeDataUpdates(pairs(), updates, self.schema))
+
+    def get(self, key: int) -> Optional[tuple]:
+        for record in self.range_scan(key, key):
+            return record
+        return None
+
+    # ---------------------------------------------------------------- finish
+    def commit(self) -> int:
+        """First-committer-wins validation, then publish to MaSM."""
+        if self._done:
+            raise TransactionError("transaction already finished")
+        self._done = True
+        if not self._writes:
+            return self.start_ts
+        keys = frozenset(self._writes)
+        if self.manager._conflicts(self.start_ts, keys):
+            raise TransactionAborted(
+                f"snapshot conflict on keys {sorted(keys)[:5]}..."
+            )
+        commit_ts = self.manager.oracle.next()
+        for key in sorted(self._writes):
+            update = self._writes[key]
+            self.manager.masm.apply(
+                UpdateRecord(commit_ts, key, update.type, update.content)
+            )
+        self.manager._record_commit(commit_ts, keys)
+        return commit_ts
+
+    def abort(self) -> None:
+        self._done = True
+        self._writes.clear()
+
+    @property
+    def is_finished(self) -> bool:
+        return self._done

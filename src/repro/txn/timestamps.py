@@ -1,0 +1,39 @@
+"""Logical timestamps ordering updates, queries, and migrations.
+
+Section 3.2: every update carries its commit timestamp, every query carries
+a start timestamp and sees exactly the updates with smaller timestamps, and
+every data page stores the timestamp of the last update applied to it.  The
+oracle below hands out the monotonically increasing values that make that
+total order.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TimestampOracle:
+    """Thread-safe monotonically increasing timestamp source."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        """Allocate and return the next timestamp."""
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    @property
+    def current(self) -> int:
+        """The most recently allocated timestamp (0 if none yet)."""
+        with self._lock:
+            return self._next - 1
+
+    def advance_past(self, timestamp: int) -> None:
+        """Ensure future timestamps exceed ``timestamp`` (crash recovery)."""
+        with self._lock:
+            if timestamp >= self._next:
+                self._next = timestamp + 1

@@ -1,0 +1,16 @@
+"""Small shared helpers (byte/time units, numeric utilities)."""
+
+from repro.util.units import GB, KB, MB, MS, TB, US, ceil_div, fmt_bytes, fmt_time, parse_bytes
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "MS",
+    "TB",
+    "US",
+    "ceil_div",
+    "fmt_bytes",
+    "fmt_time",
+    "parse_bytes",
+]

@@ -1,0 +1,69 @@
+"""Byte-size and time-unit helpers.
+
+All sizes in this codebase are plain integers counted in bytes, and all
+simulated times are floats counted in seconds.  These constants and helpers
+keep call sites readable (``4 * MB`` rather than ``4194304``).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+US = 1e-6
+MS = 1e-3
+
+_SUFFIXES = [("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)]
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count with the largest suffix that keeps it readable.
+
+    >>> fmt_bytes(4 * 1024 * 1024)
+    '4MB'
+    >>> fmt_bytes(1536)
+    '1.5KB'
+    """
+    for suffix, unit in _SUFFIXES:
+        if abs(n) >= unit:
+            value = n / unit
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.3g}{suffix}"
+    return "0B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human-readable size such as ``'64KB'`` or ``'4 GB'`` to bytes.
+
+    Raises ``ValueError`` for malformed input.
+    """
+    cleaned = text.strip().upper().replace(" ", "")
+    for suffix, unit in _SUFFIXES:
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            return int(float(number) * unit)
+    # A bare number means bytes.
+    return int(float(cleaned))
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration in the most natural unit.
+
+    >>> fmt_time(0.0025)
+    '2.50ms'
+    """
+    if seconds >= 1.0:
+        return f"{seconds:.3g}s"
+    if seconds >= MS:
+        return f"{seconds / MS:.3g}ms"
+    return f"{seconds / US:.3g}us"
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division: the number of size-``b`` chunks covering ``a``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)

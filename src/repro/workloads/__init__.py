@@ -1,0 +1,39 @@
+"""Workload generators: the synthetic table of Section 4.2, the TPC-H-style
+replay of Section 4.3, and blktrace-style trace record/replay."""
+
+from repro.workloads.synthetic import (
+    SyntheticUpdateGenerator,
+    UpdateMix,
+    ZipfSampler,
+    build_synthetic_table,
+    range_for_bytes,
+)
+from repro.workloads.tpch import (
+    QUERY_IDS,
+    QUERY_SCANS,
+    SCHEMAS,
+    TPCHInstance,
+    generate_tpch,
+    replay_query,
+    tpch_update_stream,
+)
+from repro.workloads.traces import TraceEvent, TraceRecorder, interleave_traces, replay_trace
+
+__all__ = [
+    "QUERY_IDS",
+    "QUERY_SCANS",
+    "SCHEMAS",
+    "SyntheticUpdateGenerator",
+    "TPCHInstance",
+    "TraceEvent",
+    "TraceRecorder",
+    "UpdateMix",
+    "ZipfSampler",
+    "build_synthetic_table",
+    "generate_tpch",
+    "interleave_traces",
+    "range_for_bytes",
+    "replay_query",
+    "replay_trace",
+    "tpch_update_stream",
+]

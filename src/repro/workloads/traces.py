@@ -1,0 +1,114 @@
+"""I/O trace recording and replay (the blktrace methodology of Section 2.2).
+
+The paper records the I/O of offline updates on a column store and replays
+it concurrently with queries, converting writes to reads "so that we can
+replay the disk head movements without corrupting the database".  The tools
+here do the same against simulated devices: :class:`TraceRecorder` hooks a
+device and captures every operation; :func:`replay_trace` re-issues the
+operations (optionally writes-as-reads) on any device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.storage.device import Device
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded I/O: byte offset, size, and direction."""
+
+    offset: int
+    size: int
+    is_write: bool
+
+
+class TraceRecorder:
+    """Captures a device's reads/writes while attached.
+
+    Use as a context manager::
+
+        with TraceRecorder(disk) as trace:
+            run_updates()
+        replay_trace(trace.events, other_disk)
+    """
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.events: list[TraceEvent] = []
+        self._original_read = None
+        self._original_write = None
+
+    def __enter__(self) -> "TraceRecorder":
+        self._original_read = self.device.read
+        self._original_write = self.device.write
+
+        def recording_read(offset: int, size: int) -> bytes:
+            self.events.append(TraceEvent(offset, size, is_write=False))
+            return self._original_read(offset, size)
+
+        def recording_write(offset: int, data: bytes) -> None:
+            self.events.append(TraceEvent(offset, len(data), is_write=True))
+            self._original_write(offset, data)
+
+        self.device.read = recording_read  # type: ignore[method-assign]
+        self.device.write = recording_write  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.device.read = self._original_read  # type: ignore[method-assign]
+        self.device.write = self._original_write  # type: ignore[method-assign]
+
+    @property
+    def bytes_traced(self) -> int:
+        return sum(e.size for e in self.events)
+
+
+def replay_trace(
+    events: Iterable[TraceEvent],
+    device: Device,
+    writes_as_reads: bool = True,
+    limit: Optional[int] = None,
+) -> int:
+    """Re-issue traced operations on ``device``; returns operations replayed.
+
+    With ``writes_as_reads`` (the paper's method) every write becomes a read
+    of the same location: identical head movement, no data corruption.
+    """
+    replayed = 0
+    for event in events:
+        if limit is not None and replayed >= limit:
+            break
+        size = min(event.size, device.capacity - event.offset)
+        if size <= 0:
+            continue
+        if event.is_write and not writes_as_reads:
+            device.write(event.offset, b"\x00" * size)
+        else:
+            device.read(event.offset, size)
+        replayed += 1
+    return replayed
+
+
+def interleave_traces(
+    primary: Iterable[TraceEvent],
+    background: Iterable[TraceEvent],
+    ratio: float,
+) -> Iterable[TraceEvent]:
+    """Mix a background trace into a primary one at ``ratio`` events per
+    primary event (how the paper emulates online updates during queries)."""
+    background_iter = iter(background)
+    exhausted = False
+    credit = 0.0
+    for event in primary:
+        yield event
+        credit += ratio
+        while credit >= 1.0 and not exhausted:
+            extra = next(background_iter, None)
+            if extra is None:
+                exhausted = True  # background ended; primary continues alone
+                break
+            yield extra
+            credit -= 1.0

@@ -1,0 +1,45 @@
+"""The `python -m repro.bench` command-line runner."""
+
+import pathlib
+import subprocess
+import sys
+
+from repro.bench.__main__ import main
+from repro.bench.figures import ALL_DRIVERS
+
+
+def test_list_prints_all_ids(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(ALL_DRIVERS)
+
+
+def test_no_arguments_is_a_usage_error(capsys):
+    assert main([]) == 2
+    assert "nothing to run" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["figure-99"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_runs_one_experiment_and_writes_csv(tmp_path, capsys):
+    assert main(["figure-11", "--scale", "0.2", "--csv", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+    assert "finished in" in out
+    csv_file = tmp_path / "figure-11.csv"
+    assert csv_file.exists()
+    assert "normalized time" in csv_file.read_text()
+
+
+def test_module_is_executable():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--list"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "figure-9" in result.stdout

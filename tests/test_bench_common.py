@@ -1,0 +1,116 @@
+"""Benchmark rig utilities: sizing, alpha clamping, cache filling, sweeps."""
+
+import random
+
+import pytest
+
+from repro.baselines.iu import IndexedUpdates
+from repro.bench.figures.common import (
+    COARSE_BLOCK,
+    FINE_BLOCK,
+    SSD_PAGE,
+    build_rig,
+    clamped_alpha,
+    fill_cache,
+    make_iu,
+    make_masm,
+    random_range,
+    range_size_sweep,
+)
+from repro.core import theory
+from repro.util.units import KB, MB
+
+
+def test_rig_sizing_scales():
+    small = build_rig(scale=0.1)
+    large = build_rig(scale=0.2)
+    assert large.table.row_count == 2 * small.table.row_count
+    assert large.cache_bytes == 2 * small.cache_bytes
+
+
+def test_rig_cache_ratio_in_paper_band():
+    rig = build_rig(scale=0.5)
+    ratio = rig.cache_bytes / rig.table.data_bytes
+    assert 0.01 <= ratio <= 0.10  # the paper's "1%-10% of the main data"
+
+
+def test_block_granularities_scale_like_paper():
+    # 64KB : 4KB in the paper = 16 : 1.
+    assert COARSE_BLOCK == SSD_PAGE
+    assert COARSE_BLOCK // FINE_BLOCK == 16
+
+
+def test_clamped_alpha_respects_bounds():
+    # A large cache leaves alpha=1 untouched.
+    assert clamped_alpha(64 * MB, 1.0) == 1.0
+    # A tiny cache forces alpha up to the Section 3.4 lower bound.
+    tiny = clamped_alpha(32 * SSD_PAGE, 1.0)
+    assert tiny > 1.0
+    assert tiny <= 2.0
+    # Never exceeds 2.
+    assert clamped_alpha(32 * SSD_PAGE, 2.0) == 2.0
+
+
+def test_make_masm_uses_rig_quota():
+    rig = build_rig(scale=0.3)
+    masm = make_masm(rig)
+    assert masm.cache_bytes <= rig.cache_bytes
+    assert masm.config.block_size == COARSE_BLOCK
+
+
+def test_fill_cache_reaches_target_on_masm():
+    rig = build_rig(scale=0.3)
+    masm = make_masm(rig)
+    applied = fill_cache(masm, rig, fraction=0.5)
+    assert applied > 0
+    fill = masm.cached_run_bytes / masm.cache_bytes
+    assert 0.35 <= fill <= 0.75
+
+
+def test_fill_cache_works_for_iu():
+    rig = build_rig(scale=0.3)
+    iu = make_iu(rig)
+    fill_cache(iu, rig, fraction=0.25)
+    assert iu.cached_bytes >= 0.2 * rig.cache_bytes
+    assert isinstance(iu, IndexedUpdates)
+
+
+def test_fill_cache_survives_overfull_request():
+    rig = build_rig(scale=0.2)
+    masm = make_masm(rig)
+    fill_cache(masm, rig, fraction=0.99)  # must not raise
+    assert masm.cached_run_bytes <= masm.cache_bytes
+
+
+def test_range_size_sweep_covers_page_to_table():
+    rig = build_rig(scale=0.3)
+    sweep = range_size_sweep(rig)
+    sizes = [size for _, size in sweep]
+    assert sizes[0] == 4 * KB
+    assert sizes[-1] == rig.table.data_bytes
+    assert sizes == sorted(sizes)
+    assert sweep[-1][0] == "full"
+
+
+def test_random_range_stays_in_table():
+    rig = build_rig(scale=0.2)
+    rng = random.Random(1)
+    for size in (4 * KB, 1 * MB):
+        begin, end = random_range(rig, size, rng)
+        assert 0 <= begin <= end
+        records = sum(1 for _ in rig.table.range_scan(begin, end))
+        assert records > 0
+
+
+def test_measure_reports_breakdown():
+    rig = build_rig(scale=0.2)
+    result = rig.measure(
+        lambda: rig.drain(rig.table.range_scan(*rig.table.full_key_range()))
+    )
+    assert result.busy("disk") > 0
+    assert result.elapsed >= result.busy("ssd")
+
+
+def test_pure_scan_time_positive():
+    rig = build_rig(scale=0.2)
+    assert rig.pure_scan_time(0, 10**6) > 0

@@ -1,0 +1,142 @@
+"""BPlusTree multimap: CRUD, range scans, structural invariants."""
+
+import random
+
+import pytest
+
+from repro.engine.btree import BPlusTree
+
+
+def test_insert_and_search():
+    tree = BPlusTree()
+    tree.insert(5, "a")
+    assert tree.search(5) == ["a"]
+    assert tree.search(6) == []
+
+
+def test_duplicates_keep_insertion_order():
+    tree = BPlusTree()
+    tree.insert(1, "first")
+    tree.insert(1, "second")
+    assert tree.search(1) == ["first", "second"]
+    assert len(tree) == 2
+
+
+def test_many_inserts_stay_sorted():
+    tree = BPlusTree(order=8)
+    keys = list(range(1000))
+    random.Random(3).shuffle(keys)
+    for k in keys:
+        tree.insert(k, k * 10)
+    assert list(tree.keys()) == list(range(1000))
+    tree.check_invariants()
+
+
+def test_range_scan():
+    tree = BPlusTree(order=8)
+    for k in range(0, 100, 2):
+        tree.insert(k, k)
+    got = [k for k, _ in tree.range(10, 20)]
+    assert got == [10, 12, 14, 16, 18, 20]
+
+
+def test_range_scan_empty_interval():
+    tree = BPlusTree()
+    tree.insert(1, "x")
+    assert list(tree.range(5, 3)) == []
+    assert list(tree.range(2, 9)) == []
+
+
+def test_range_includes_duplicates():
+    tree = BPlusTree(order=8)
+    tree.insert(7, "a")
+    tree.insert(7, "b")
+    assert [v for _, v in tree.range(7, 7)] == ["a", "b"]
+
+
+def test_delete_single_value():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert tree.delete(1, "a")
+    assert tree.search(1) == ["b"]
+    assert len(tree) == 1
+
+
+def test_delete_whole_key():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert tree.delete(1)
+    assert tree.search(1) == []
+    assert len(tree) == 0
+
+
+def test_delete_missing_returns_false():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    assert not tree.delete(2)
+    assert not tree.delete(1, "zzz")
+
+
+def test_items_in_key_order():
+    tree = BPlusTree(order=4)
+    for k in [5, 1, 9, 3, 7]:
+        tree.insert(k, str(k))
+    assert list(tree.items()) == [
+        (1, "1"),
+        (3, "3"),
+        (5, "5"),
+        (7, "7"),
+        (9, "9"),
+    ]
+
+
+def test_min_max_key():
+    tree = BPlusTree()
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+    for k in [42, 7, 99]:
+        tree.insert(k, None)
+    assert tree.min_key() == 7
+    assert tree.max_key() == 99
+
+
+def test_contains():
+    tree = BPlusTree()
+    tree.insert(3, "x")
+    assert 3 in tree
+    assert 4 not in tree
+
+
+def test_key_count_vs_len():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    tree.insert(2, "c")
+    assert tree.key_count == 2
+    assert len(tree) == 3
+
+
+def test_order_too_small_rejected():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+def test_invariants_after_mixed_workload():
+    tree = BPlusTree(order=6)
+    rng = random.Random(17)
+    shadow: dict[int, list] = {}
+    for _ in range(3000):
+        k = rng.randrange(200)
+        if rng.random() < 0.6:
+            tree.insert(k, k)
+            shadow.setdefault(k, []).append(k)
+        else:
+            existed = bool(shadow.get(k))
+            assert tree.delete(k, k) == existed
+            if existed:
+                shadow[k].remove(k)
+    tree.check_invariants()
+    expected = sorted(k for k, vals in shadow.items() if vals)
+    assert sorted(set(tree.keys())) == expected

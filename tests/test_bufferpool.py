@@ -1,0 +1,115 @@
+"""BufferPool: caching, pinning, eviction with write-back."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.heapfile import HeapFile
+from repro.engine.record import synthetic_schema
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.util.units import MB
+
+
+def make_pool(capacity_pages=4, n_records=2000):
+    volume = StorageVolume(SimulatedDisk(capacity=32 * MB))
+    heap = HeapFile(volume.create("heap", 8 * MB), synthetic_schema())
+    heap.bulk_load([(i * 2, f"p{i}") for i in range(n_records)])
+    return BufferPool(heap, capacity_pages=capacity_pages), heap
+
+
+def test_get_caches():
+    pool, heap = make_pool()
+    device = heap.file.device
+    pool.get(0)
+    reads_after_first = device.stats.reads
+    pool.get(0)
+    assert device.stats.reads == reads_after_first
+    assert pool.hits == 1
+    assert pool.misses == 1
+
+
+def test_eviction_on_capacity():
+    pool, _ = make_pool(capacity_pages=2)
+    pool.get(0)
+    pool.get(1)
+    pool.get(2)  # evicts page 0 (LRU)
+    assert pool.resident == 2
+    assert pool.evictions == 1
+
+
+def test_dirty_page_written_back_on_eviction():
+    pool, heap = make_pool(capacity_pages=2)
+    page = pool.get(0)
+    page.timestamp = 123
+    pool.mark_dirty(0)
+    pool.get(1)
+    pool.get(2)  # page 0 evicted, must be written back
+    assert heap.read_page(0).timestamp == 123
+
+
+def test_pinned_pages_survive_eviction():
+    pool, _ = make_pool(capacity_pages=2)
+    pool.get(0, pin=True)
+    pool.get(1)
+    pool.get(2)  # must evict page 1, not the pinned page 0
+    assert pool.hits + pool.misses == 3
+    pool.get(0)
+    assert pool.hits == 1  # still resident
+    pool.unpin(0)
+
+
+def test_all_pinned_raises():
+    pool, _ = make_pool(capacity_pages=2)
+    pool.get(0, pin=True)
+    pool.get(1, pin=True)
+    with pytest.raises(StorageError):
+        pool.get(2)
+
+
+def test_unpin_unpinned_raises():
+    pool, _ = make_pool()
+    pool.get(0)
+    with pytest.raises(StorageError):
+        pool.unpin(0)
+
+
+def test_mark_dirty_nonresident_raises():
+    pool, _ = make_pool()
+    with pytest.raises(StorageError):
+        pool.mark_dirty(0)
+
+
+def test_flush_all():
+    pool, heap = make_pool()
+    page = pool.get(1)
+    page.timestamp = 55
+    pool.mark_dirty(1)
+    pool.flush_all()
+    assert heap.read_page(1).timestamp == 55
+
+
+def test_drop_all_discards_unwritten():
+    pool, heap = make_pool()
+    page = pool.get(1)
+    page.timestamp = 55
+    pool.mark_dirty(1)
+    pool.drop_all()  # crash: dirty page lost
+    assert heap.read_page(1).timestamp == 0
+    assert pool.resident == 0
+
+
+def test_put_installs_page():
+    pool, heap = make_pool()
+    page = heap.read_page(0)
+    page.timestamp = 9
+    pool.put(0, page)
+    assert pool.get(0).timestamp == 9
+
+
+def test_hit_rate():
+    pool, _ = make_pool()
+    assert pool.hit_rate == 0.0
+    pool.get(0)
+    pool.get(0)
+    assert pool.hit_rate == 0.5

@@ -1,0 +1,38 @@
+"""SimClock invariants: monotonicity and reset semantics."""
+
+import pytest
+
+from repro.storage.clock import SimClock
+
+
+def test_clock_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_only_moves_forward():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+    clock.advance_to(3.0)  # in the past: no-op
+    assert clock.now == 5.0
+
+
+def test_reset():
+    clock = SimClock(start=2.0)
+    assert clock.now == 2.0
+    clock.advance(1.0)
+    clock.reset()
+    assert clock.now == 0.0

@@ -1,0 +1,117 @@
+"""SimulatedDisk service-time model: calibration against the paper's numbers
+and emergence of scan/update interference."""
+
+import pytest
+
+from repro.storage.disk import SimulatedDisk
+from repro.util.units import GB, KB, MB, MS
+
+
+def make_disk(capacity=10 * GB):
+    return SimulatedDisk(capacity=capacity)
+
+
+def test_data_roundtrip():
+    disk = make_disk()
+    disk.write(4096, b"payload")
+    assert disk.read(4096, 7) == b"payload"
+
+
+def test_sequential_read_is_bandwidth_bound():
+    disk = make_disk()
+    disk.read(0, 1 * MB)
+    first = disk.stats.busy_time
+    disk.read(1 * MB, 1 * MB)  # continues at the head: pure transfer
+    second = disk.stats.busy_time - first
+    assert second == pytest.approx((1 * MB) / (77 * MB), rel=1e-9)
+    # Head starts at 0, so both reads continue the head position.
+    assert disk.stats.seq_reads == 2
+    assert disk.stats.rand_reads == 0
+
+
+def test_first_access_at_zero_offset_is_sequential():
+    disk = make_disk()
+    disk.read(0, 4 * KB)
+    assert disk.stats.seq_reads == 1
+    assert disk.stats.seek_time == 0.0
+
+
+def test_random_write_costs_about_15ms_on_average():
+    """Figure 12 measures 68 sustained random 4KB writes/s (~14.7 ms each)."""
+    import random
+
+    rng = random.Random(7)
+    disk = make_disk(capacity=200 * GB)
+    n = 200
+    for _ in range(n):
+        disk.write(rng.randrange(0, 199 * GB), b"x" * 4096)
+    mean = disk.stats.busy_time / n
+    assert 11 * MS < mean < 18 * MS
+
+
+def test_inplace_read_modify_write_costs_about_20ms_on_average():
+    """Figure 12 measures 48 in-place updates/s (~21 ms per 4KB RMW)."""
+    import random
+
+    rng = random.Random(11)
+    disk = make_disk(capacity=200 * GB)
+    n = 200
+    for _ in range(n):
+        target = rng.randrange(0, 199 * GB)
+        page = disk.read(target, 4096)  # seek + rotate + transfer
+        disk.write(target, page)  # full-rotation write-back
+    mean = disk.stats.busy_time / n
+    assert 17 * MS < mean < 27 * MS
+
+
+def test_writeback_just_behind_head_costs_one_rotation():
+    disk = make_disk()
+    disk.read(1 * MB, 4096)
+    before = disk.stats.busy_time
+    disk.write(1 * MB, b"y" * 4096)  # rewrite what was just read
+    service = disk.stats.busy_time - before
+    rotation = disk.profile.rotation_time
+    assert service == pytest.approx(rotation + 4096 / disk.profile.seq_write_bw)
+
+
+def test_seek_time_grows_with_distance():
+    disk = make_disk(capacity=200 * GB)
+    assert disk.seek_time(0) == 0.0
+    near = disk.seek_time(1 * MB)
+    far = disk.seek_time(100 * GB)
+    assert 0 < near < far <= disk.profile.seek_full_stroke
+
+
+def test_interference_emerges_from_head_movement():
+    """A scan interrupted by random updates pays extra seeks: the sum of the
+    mixed workload exceeds the sum of each workload run alone (Section 2.2)."""
+    capacity = 50 * GB
+
+    def scan_only():
+        disk = make_disk(capacity)
+        for i in range(64):
+            disk.read(i * MB, 1 * MB)
+        return disk.stats.busy_time
+
+    def updates_only():
+        disk = make_disk(capacity)
+        for i in range(64):
+            disk.write(30 * GB + i * 97 * MB, b"u" * 4096)
+        return disk.stats.busy_time
+
+    def mixed():
+        disk = make_disk(capacity)
+        for i in range(64):
+            disk.read(i * MB, 1 * MB)
+            disk.write(30 * GB + i * 97 * MB, b"u" * 4096)
+        return disk.stats.busy_time
+
+    assert mixed() > scan_only() + updates_only() * 0.99
+    # The interference factor should be material (paper: ~1.6x extra).
+    assert mixed() > 1.2 * (scan_only() + updates_only() / 2)
+
+
+def test_head_position_tracks_accesses():
+    disk = make_disk()
+    disk.read(10 * MB, 64 * KB)
+    assert disk.head_position == 10 * MB + 64 * KB

@@ -1,0 +1,164 @@
+"""Edge cases and error paths across modules."""
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.sortedrun import load_run, write_run
+from repro.core.update import UpdateCodec, UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import (
+    KeyNotFoundError,
+    ReproError,
+    StorageError,
+    UpdateCacheFullError,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+CODEC = UpdateCodec(SCHEMA)
+
+
+# ------------------------------------------------------------------- errors
+def test_exception_hierarchy():
+    assert issubclass(StorageError, ReproError)
+    assert issubclass(UpdateCacheFullError, ReproError)
+    assert issubclass(KeyNotFoundError, ReproError)
+
+
+# --------------------------------------------------------------- empty table
+def test_empty_table_scans_and_lookups():
+    volume = StorageVolume(SimulatedDisk(capacity=16 * MB))
+    table = Table.create(volume, "empty", SCHEMA, 100)
+    assert list(table.range_scan(0, 100)) == []
+    assert list(table.range_scan_pairs(0, 100)) == []
+    with pytest.raises(KeyNotFoundError):
+        table.get(1)
+
+
+def test_masm_over_empty_table():
+    disk_vol = StorageVolume(SimulatedDisk(capacity=16 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=4 * MB))
+    table = Table.create(disk_vol, "empty", SCHEMA, 100)
+    masm = MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(alpha=1.2, ssd_page_size=4 * KB, block_size=2 * KB),
+    )
+    masm.insert((7, "first"))
+    assert list(masm.range_scan(0, 100)) == [(7, "first")]
+    masm.flush_buffer()
+    masm.migrate()
+    assert table.row_count == 1
+    assert table.get(7) == (7, "first")
+
+
+# ------------------------------------------------------------ cache pressure
+def test_cache_full_without_auto_migrate_raises():
+    disk_vol = StorageVolume(SimulatedDisk(capacity=32 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=4 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, 500)
+    table.bulk_load((i * 2, f"r{i}") for i in range(500))
+    masm = MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(
+            alpha=1.5,
+            ssd_page_size=2 * KB,
+            block_size=2 * KB,
+            cache_bytes=32 * KB,
+            auto_migrate=False,
+        ),
+    )
+    with pytest.raises(UpdateCacheFullError):
+        for i in range(100_000):
+            masm.modify((i % 500) * 2, {"payload": f"x{i}"})
+    # After migrating, ingestion can continue.
+    masm.migrate()
+    masm.modify(0, {"payload": "after"})
+    assert {r[0]: r for r in masm.range_scan(0, 0)}[0] == (0, "after")
+
+
+# ------------------------------------------------------------------- codecs
+def test_codec_rejects_truncated_payload():
+    update = UpdateRecord(1, 2, UpdateType.INSERT, (2, "x"))
+    data = CODEC.encode(update)
+    with pytest.raises((ReproError, Exception)):
+        CODEC.decode(data[: len(data) - 5])
+
+
+def test_codec_rejects_bad_type_byte():
+    update = UpdateRecord(1, 2, UpdateType.DELETE, None)
+    data = bytearray(CODEC.encode(update))
+    data[16] = 99  # the type byte
+    with pytest.raises(ValueError):
+        CODEC.decode(bytes(data))
+
+
+# ------------------------------------------------------------------ run I/O
+def test_load_run_roundtrip():
+    vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    updates = [
+        UpdateRecord(i + 1, i * 2, UpdateType.MODIFY, {"payload": f"v{i}"})
+        for i in range(500)
+    ]
+    written = write_run(vol, "r", updates, CODEC, block_size=2 * KB)
+    loaded = load_run(vol, "r", CODEC, block_size=2 * KB)
+    assert loaded.count == written.count
+    assert loaded.min_key == written.min_key
+    assert loaded.max_key == written.max_key
+    assert loaded.min_ts == written.min_ts
+    assert loaded.max_ts == written.max_ts
+    assert list(loaded.scan(0, 10**9)) == list(written.scan(0, 10**9))
+
+
+def test_load_run_missing_file():
+    vol = StorageVolume(SimulatedSSD(capacity=1 * MB))
+    with pytest.raises(StorageError):
+        load_run(vol, "ghost", CODEC)
+
+
+# ------------------------------------------------------------ range bounds
+def test_scan_ranges_beyond_table():
+    disk_vol = StorageVolume(SimulatedDisk(capacity=16 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=4 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, 200)
+    table.bulk_load((i * 2, f"r{i}") for i in range(200))
+    masm = MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(alpha=1.2, ssd_page_size=4 * KB, block_size=2 * KB),
+    )
+    # Entirely past the data.
+    assert list(masm.range_scan(10_000, 20_000)) == []
+    # Insert past the data, then scan there.
+    masm.insert((10_001, "far"))
+    assert list(masm.range_scan(10_000, 20_000)) == [(10_001, "far")]
+
+
+def test_single_key_range_scans():
+    disk_vol = StorageVolume(SimulatedDisk(capacity=16 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, 100)
+    table.bulk_load((i * 2, f"r{i}") for i in range(100))
+    assert [r[0] for r in table.range_scan(50, 50)] == [50]
+    assert list(table.range_scan(51, 51)) == []
+
+
+# ---------------------------------------------------------------- device IO
+def test_zero_byte_io():
+    disk = SimulatedDisk(capacity=1 * MB)
+    assert disk.read(0, 0) == b""
+    disk.write(0, b"")
+    ssd = SimulatedSSD(capacity=1 * MB)
+    assert ssd.read_batch([(0, 0)]) == [b""]
+
+
+def test_full_capacity_access():
+    disk = SimulatedDisk(capacity=64 * KB)
+    disk.write(0, b"x" * (64 * KB))
+    assert len(disk.read(0, 64 * KB)) == 64 * KB
+    with pytest.raises(StorageError):
+        disk.read(1, 64 * KB)

@@ -1,0 +1,59 @@
+"""The example scripts run end to end and print what they promise."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "range scan" in out
+    assert "patched online" in out
+    assert "migration rewrote the table in place" in out
+    assert "SSD writes per update" in out
+
+
+def test_tpch_replay():
+    out = run_example("tpch_replay.py", "0.2")
+    assert "Figure 14" in out
+    assert "MaSM stays within" in out
+
+
+def test_tradeoff_explorer():
+    out = run_example("tradeoff_explorer.py")
+    assert "alpha" in out
+    assert "lifetime" in out
+    # The table covers the endpoints of the spectrum.
+    assert " 1.00 " in out or "1.00" in out
+    assert "2.00" in out
+
+
+def test_warehouse_extensions():
+    out = run_example("warehouse_extensions.py")
+    assert "shared-nothing cluster" in out
+    assert "secondary index" in out
+    assert "materialized views" in out
+    assert "coordinated migration" in out
+    assert "cache now empty: True" in out
+
+
+@pytest.mark.slow
+def test_active_warehouse():
+    out = run_example("active_warehouse.py")
+    assert "sustained update rate" in out
+    assert "speedup" in out

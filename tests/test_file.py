@@ -1,0 +1,106 @@
+"""StorageVolume extent allocation and SimFile access rules."""
+
+import pytest
+
+from repro.errors import OutOfSpaceError, StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+
+def make_volume(capacity=16 * MB):
+    return StorageVolume(SimulatedDisk(capacity=capacity))
+
+
+def test_create_and_rw():
+    vol = make_volume()
+    f = vol.create("table", 1 * MB)
+    f.write(0, b"hello")
+    assert f.read(0, 5) == b"hello"
+
+
+def test_files_do_not_overlap():
+    vol = make_volume()
+    a = vol.create("a", 1 * MB)
+    b = vol.create("b", 1 * MB)
+    a.write(0, b"A" * 1024)
+    b.write(0, b"B" * 1024)
+    assert a.read(0, 4) == b"AAAA"
+    assert b.read(0, 4) == b"BBBB"
+    assert a.offset + a.size <= b.offset or b.offset + b.size <= a.offset
+
+
+def test_duplicate_name_rejected():
+    vol = make_volume()
+    vol.create("x", 1 * KB)
+    with pytest.raises(StorageError):
+        vol.create("x", 1 * KB)
+
+
+def test_out_of_space():
+    vol = make_volume(capacity=1 * MB)
+    with pytest.raises(OutOfSpaceError):
+        vol.create("big", 2 * MB)
+
+
+def test_delete_frees_and_coalesces():
+    vol = make_volume(capacity=4 * MB)
+    vol.create("a", 1 * MB)
+    vol.create("b", 1 * MB)
+    vol.create("c", 1 * MB)
+    vol.delete("a")
+    vol.delete("b")  # adjacent: must coalesce into a single 2MB extent
+    big = vol.create("d", 2 * MB)
+    assert big.size == 2 * MB
+
+
+def test_deleted_file_handle_is_dead():
+    vol = make_volume()
+    f = vol.create("gone", 1 * KB)
+    vol.delete("gone")
+    with pytest.raises(StorageError):
+        f.read(0, 1)
+
+
+def test_bounds_checked_within_file():
+    vol = make_volume()
+    f = vol.create("small", 1 * KB)
+    with pytest.raises(StorageError):
+        f.read(1020, 8)
+    with pytest.raises(StorageError):
+        f.write(1023, b"ab")
+
+
+def test_append_cursor():
+    vol = make_volume()
+    f = vol.create("log", 1 * KB)
+    assert f.append(b"one") == 0
+    assert f.append(b"two") == 3
+    assert f.append_pos == 6
+    assert f.read(0, 6) == b"onetwo"
+
+
+def test_read_batch_on_ssd_uses_device_batching():
+    ssd = SimulatedSSD(capacity=4 * MB)
+    vol = StorageVolume(ssd)
+    f = vol.create("run", 2 * MB)
+    f.write(0, b"0123456789")
+    out = f.read_batch([(0, 2), (4, 2)])
+    assert out == [b"01", b"45"]
+    assert ssd.stats.reads == 2  # 1 setup write, 2 batched reads counted
+
+
+def test_volume_usage_accounting():
+    vol = make_volume(capacity=4 * MB)
+    assert vol.free_bytes == 4 * MB
+    vol.create("a", 1 * MB)
+    assert vol.used_bytes == 1 * MB
+    assert "a" in vol
+    assert list(vol) == ["a"]
+
+
+def test_open_missing_file():
+    vol = make_volume()
+    with pytest.raises(StorageError):
+        vol.open("nope")

@@ -1,0 +1,90 @@
+"""FigureResult tables: building, querying, rendering."""
+
+import pytest
+
+from repro.bench.harness import FigureResult, geometric_mean, normalize
+from repro.errors import BenchmarkError
+
+
+def make_result():
+    r = FigureResult(
+        figure="Figure X",
+        title="demo",
+        row_label="range",
+        columns=["a", "b"],
+    )
+    r.add_row("4KB", a=1.0, b=2.0)
+    r.add_row("1MB", a=1.5, b=2.5)
+    return r
+
+
+def test_series_in_row_order():
+    r = make_result()
+    assert r.series("a") == [1.0, 1.5]
+    assert r.series("b") == [2.0, 2.5]
+
+
+def test_series_unknown_column():
+    with pytest.raises(BenchmarkError):
+        make_result().series("zzz")
+
+
+def test_cell_lookup():
+    r = make_result()
+    assert r.cell("1MB", "b") == 2.5
+    with pytest.raises(BenchmarkError):
+        r.cell("nope", "a")
+
+
+def test_add_row_rejects_unknown_columns():
+    r = make_result()
+    with pytest.raises(BenchmarkError):
+        r.add_row("x", zzz=1.0)
+
+
+def test_missing_cells_render_as_dash():
+    r = FigureResult(figure="F", title="t", row_label="x", columns=["a", "b"])
+    r.add_row("r1", a=1.0)
+    text = r.format()
+    assert "-" in text.splitlines()[-1]
+    assert r.series("b") == []
+
+
+def test_format_contains_all_parts():
+    r = make_result()
+    r.note("a note")
+    text = r.format()
+    assert "Figure X" in text
+    assert "4KB" in text
+    assert "2.50" in text
+    assert "note: a note" in text
+
+
+def test_to_csv():
+    csv_text = make_result().to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "range,a,b"
+    assert lines[1] == "4KB,1.0,2.0"
+
+
+def test_row_labels():
+    assert make_result().row_labels() == ["4KB", "1MB"]
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+    with pytest.raises(BenchmarkError):
+        normalize([1.0], 0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(BenchmarkError):
+        geometric_mean([])
+    with pytest.raises(BenchmarkError):
+        geometric_mean([1.0, -1.0])
+
+
+def test_str_is_format():
+    r = make_result()
+    assert str(r) == r.format()

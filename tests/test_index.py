@@ -1,0 +1,63 @@
+"""SparsePrimaryIndex lookup semantics."""
+
+import pytest
+
+from repro.engine.index import SparsePrimaryIndex
+from repro.errors import KeyNotFoundError
+
+
+def make_index():
+    # Pages 0..3 start at keys 0, 100, 200, 300.
+    return SparsePrimaryIndex([(0, 0), (100, 1), (200, 2), (300, 3)])
+
+
+def test_locate_exact_first_key():
+    idx = make_index()
+    assert idx.locate_page(100) == 1
+
+
+def test_locate_interior_key():
+    idx = make_index()
+    assert idx.locate_page(150) == 1
+    assert idx.locate_page(299) == 2
+
+
+def test_locate_beyond_last():
+    assert make_index().locate_page(10_000) == 3
+
+
+def test_locate_before_first_maps_to_first_page():
+    assert make_index().locate_page(0) == 0
+    # Sparse index convention: keys below the table map to page 0.
+    idx = SparsePrimaryIndex([(50, 0), (100, 1)])
+    assert idx.locate_page(10) == 0
+
+
+def test_empty_index_raises():
+    with pytest.raises(KeyNotFoundError):
+        SparsePrimaryIndex().locate_page(1)
+    assert SparsePrimaryIndex().is_empty
+
+
+def test_page_span():
+    idx = make_index()
+    assert idx.page_span(120, 250) == (1, 2)
+    assert idx.page_span(0, 1000) == (0, 3)
+    assert idx.page_span(150, 150) == (1, 1)
+
+
+def test_page_span_rejects_inverted_range():
+    with pytest.raises(ValueError):
+        make_index().page_span(10, 5)
+
+
+def test_rebuild_rejects_misordered_keys():
+    with pytest.raises(ValueError):
+        SparsePrimaryIndex([(100, 0), (50, 1)])
+
+
+def test_entries_and_first_key_of():
+    idx = make_index()
+    assert idx.entries()[2] == (200, 2)
+    assert idx.first_key_of(3) == 300
+    assert len(idx) == 4

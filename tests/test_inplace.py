@@ -1,0 +1,96 @@
+"""In-place update baseline: correctness plus the interference it causes."""
+
+import random
+
+import pytest
+
+from repro.baselines.inplace import InPlaceUpdater, interleaved_scan
+from repro.core.update import UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import DuplicateKeyError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.util.units import MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_table(n=5000):
+    volume = StorageVolume(SimulatedDisk(capacity=256 * MB))
+    table = Table.create(volume, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    return table
+
+
+def test_updater_applies_all_types():
+    table = make_table(500)
+    upd = InPlaceUpdater(table)
+    upd.insert((41, "new"))
+    upd.modify(40, {"payload": "patched"})
+    upd.delete(42)
+    assert table.get(41) == (41, "new")
+    assert table.get(40) == (40, "patched")
+    assert upd.applied == 3
+
+
+def test_updater_timestamps_increase():
+    table = make_table(100)
+    upd = InPlaceUpdater(table)
+    t1 = upd.modify(0, {"payload": "a"})
+    t2 = upd.modify(2, {"payload": "b"})
+    assert t2 > t1
+
+
+def test_apply_update_record_lenient():
+    table = make_table(100)
+    upd = InPlaceUpdater(table)
+    dup = UpdateRecord(1, 0, UpdateType.INSERT, (0, "dup"))
+    with pytest.raises(DuplicateKeyError):
+        upd.apply(dup)
+    upd.apply(dup, lenient=True)
+    assert upd.skipped == 1
+
+
+def test_interleaved_scan_returns_all_records():
+    table = make_table(2000)
+    rng = random.Random(9)
+    updates = [
+        UpdateRecord(i + 1, rng.randrange(1000) * 2, UpdateType.MODIFY, {"payload": "x"})
+        for i in range(50)
+    ]
+    got = list(interleaved_scan(table, 0, 10**9, updates, updates_per_chunk=10))
+    assert len(got) >= 2000 - 50  # deletes absent; only modifies here
+    keys = [SCHEMA.key(r) for r in got]
+    assert keys == sorted(keys)
+
+
+def test_interleaved_scan_slows_down_with_update_rate():
+    """Section 2.2: online random updates slow the scan substantially."""
+
+    def run(rate):
+        table = make_table(20000)
+        device = table.heap.file.device
+        rng = random.Random(3)
+        updates = (
+            UpdateRecord(
+                i + 1, rng.randrange(20000) * 2, UpdateType.MODIFY, {"payload": "u"}
+            )
+            for i in range(10**6)
+        )
+        before = device.snapshot()
+        list(interleaved_scan(table, 0, 10**9, updates, updates_per_chunk=rate))
+        return device.stats.delta(before).busy_time
+
+    quiet = run(0)
+    busy = run(4)
+    assert busy > 1.5 * quiet
+
+
+def test_interleaved_scan_respects_range():
+    table = make_table(2000)
+    got = list(interleaved_scan(table, 100, 200, [], updates_per_chunk=0))
+    keys = [SCHEMA.key(r) for r in got]
+    assert keys[0] >= 100
+    assert keys[-1] <= 200
+    assert keys == list(range(100, 201, 2))

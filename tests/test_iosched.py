@@ -1,0 +1,84 @@
+"""Overlap model: elapsed = critical path across devices and CPU."""
+
+import pytest
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.iosched import CpuMeter, OverlapWindow, combine_serial, measure
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import MB
+
+
+def make_pair():
+    return SimulatedDisk(capacity=64 * MB), SimulatedSSD(capacity=64 * MB)
+
+
+def test_elapsed_is_max_of_devices():
+    disk, ssd = make_pair()
+    with OverlapWindow({"disk": disk, "ssd": ssd}) as window:
+        disk.read(0, 8 * MB)  # ~104 ms on the HDD
+        ssd.read(0, 1 * MB)  # ~4 ms on the SSD: fully overlapped
+    result = window.result
+    assert result.elapsed == pytest.approx(result.busy("disk"))
+    assert result.busy("ssd") < result.busy("disk")
+    assert result.serial_elapsed > result.elapsed
+
+
+def test_cpu_bound_region():
+    disk, _ = make_pair()
+    cpu = CpuMeter()
+    with OverlapWindow({"disk": disk}, cpu) as window:
+        disk.read(0, 1 * MB)
+        cpu.charge(10.0)  # CPU dominates
+    assert window.elapsed == pytest.approx(10.0)
+
+
+def test_cpu_meter_rejects_negative():
+    with pytest.raises(ValueError):
+        CpuMeter().charge(-1)
+
+
+def test_window_isolates_prior_activity():
+    disk, ssd = make_pair()
+    disk.read(0, 4 * MB)  # before the window: must not count
+    with OverlapWindow({"disk": disk, "ssd": ssd}) as window:
+        ssd.read(0, 1 * MB)
+    assert window.result.busy("disk") == 0.0
+    assert window.result.busy("ssd") > 0.0
+
+
+def test_measure_helper_returns_value_and_breakdown():
+    disk, _ = make_pair()
+    value, breakdown = measure({"disk": disk}, None, disk.read, 0, 1 * MB)
+    assert len(value) == 1 * MB
+    assert breakdown.elapsed > 0
+
+
+def test_elapsed_before_exit_raises():
+    disk, _ = make_pair()
+    window = OverlapWindow({"disk": disk})
+    with pytest.raises(RuntimeError):
+        _ = window.elapsed
+
+
+def test_combine_serial_sums_phases():
+    disk, ssd = make_pair()
+    cpu = CpuMeter()
+    with OverlapWindow({"disk": disk}, cpu) as first:
+        disk.read(0, 2 * MB)
+    with OverlapWindow({"ssd": ssd}, cpu) as second:
+        ssd.read(0, 2 * MB)
+    combined = combine_serial([first.result, second.result])
+    assert combined.elapsed == pytest.approx(
+        first.result.elapsed + second.result.elapsed
+    )
+    assert combined.busy("disk") == first.result.busy("disk")
+    assert combined.busy("ssd") == second.result.busy("ssd")
+
+
+def test_stats_delta_available_per_device():
+    disk, _ = make_pair()
+    with OverlapWindow({"disk": disk}) as window:
+        disk.read(0, 1 * MB)
+        disk.read(1 * MB, 1 * MB)
+    assert window.result.stats("disk").reads == 2
+    assert window.result.stats("disk").bytes_read == 2 * MB

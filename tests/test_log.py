@@ -1,0 +1,105 @@
+"""RedoLog framing and record round-trips."""
+
+import pytest
+
+from repro.core.update import UpdateCodec, UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.errors import RecoveryError
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.log import LogRecordType, RedoLog
+from repro.util.units import MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_log():
+    vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    log = RedoLog(vol.create("redo", 4 * MB))
+    log.register_table("t", UpdateCodec(SCHEMA))
+    return log
+
+
+def test_update_roundtrip():
+    log = make_log()
+    u = UpdateRecord(7, 42, UpdateType.MODIFY, {"payload": "x"})
+    log.log_update("t", u)
+    records = list(log.records())
+    assert len(records) == 1
+    assert records[0].type == LogRecordType.UPDATE
+    assert records[0].table == "t"
+    assert records[0].update == u
+
+
+def test_run_flush_roundtrip():
+    log = make_log()
+    log.log_run_flush("t", "masm-t-run-00003", max_ts=99)
+    rec = next(log.records())
+    assert rec.type == LogRecordType.RUN_FLUSH
+    assert rec.run_name == "masm-t-run-00003"
+    assert rec.timestamp == 99
+    assert rec.table == "t"
+
+
+def test_migration_bracket_roundtrip():
+    log = make_log()
+    log.log_migration_start(55, ["r1", "r2"], key_range=(10, 500))
+    log.log_migration_end(55)
+    start, end = list(log.records())
+    assert start.type == LogRecordType.MIGRATION_START
+    assert start.run_names == ("r1", "r2")
+    assert start.key_range == (10, 500)
+    assert end.type == LogRecordType.MIGRATION_END
+    assert end.timestamp == 55
+
+
+def test_mixed_sequence_order_preserved():
+    log = make_log()
+    u1 = UpdateRecord(1, 2, UpdateType.DELETE, None)
+    u2 = UpdateRecord(2, 4, UpdateType.INSERT, (4, "z"))
+    log.log_update("t", u1)
+    log.log_run_flush("t", "r", 1)
+    log.log_update("t", u2)
+    types = [r.type for r in log.records()]
+    assert types == [
+        LogRecordType.UPDATE,
+        LogRecordType.RUN_FLUSH,
+        LogRecordType.UPDATE,
+    ]
+
+
+def test_unregistered_table_rejected():
+    log = make_log()
+    with pytest.raises(RecoveryError):
+        log.log_update("nope", UpdateRecord(1, 2, UpdateType.DELETE, None))
+
+
+def test_scan_mode_after_lost_cursor():
+    """After a crash the append cursor is lost; records() must still replay."""
+    log = make_log()
+    u = UpdateRecord(3, 9, UpdateType.DELETE, None)
+    log.log_update("t", u)
+    log.log_migration_end(3)
+    # Simulate losing the in-memory cursor.
+    log.file._append_pos = 0
+    records = list(log.records())
+    assert [r.type for r in records] == [
+        LogRecordType.UPDATE,
+        LogRecordType.MIGRATION_END,
+    ]
+
+
+def test_empty_log():
+    log = make_log()
+    assert list(log.records()) == []
+    log.file._append_pos = 0
+    assert list(log.records()) == []
+
+
+def test_log_writes_are_sequential():
+    log = make_log()
+    device = log.file.device
+    for i in range(100):
+        log.log_update("t", UpdateRecord(i + 1, i, UpdateType.DELETE, None))
+    assert device.stats.rand_writes <= 1
+    assert log.records_written == 100

@@ -1,0 +1,111 @@
+"""LSM baseline: correctness, propagation, and measured write amplification."""
+
+import random
+
+import pytest
+
+from repro.baselines.lsm import LSMUpdateCache
+from repro.core import theory
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_lsm(n=1000, memory_bytes=8 * KB, levels=2, ssd_capacity=16 * MB, **kw):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=ssd_capacity))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    return LSMUpdateCache(
+        table, ssd_vol, memory_bytes=memory_bytes, levels=levels,
+        block_size=4 * KB, **kw
+    )
+
+
+def scan_dict(lsm, begin=0, end=2**62):
+    return {SCHEMA.key(r): r for r in lsm.range_scan(begin, end)}
+
+
+def test_needs_at_least_one_level():
+    with pytest.raises(ValueError):
+        make_lsm(levels=0)
+
+
+def test_scan_sees_c0_updates():
+    lsm = make_lsm()
+    lsm.modify(40, {"payload": "fresh"})
+    assert scan_dict(lsm, 40, 40)[40] == (40, "fresh")
+
+
+def test_propagation_to_ssd_on_c0_full():
+    lsm = make_lsm(memory_bytes=2 * KB)
+    i = 0
+    while lsm.level_sizes()[0] == 0 and i < 10000:
+        lsm.modify((i % 1000) * 2, {"payload": f"v{i}"})
+        i += 1
+    assert lsm.level_sizes()[0] > 0
+    assert lsm.entry_writes > 0
+
+
+def test_matches_shadow_model_across_levels():
+    lsm = make_lsm(n=400, memory_bytes=2 * KB, levels=2)
+    shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(400)}
+    rng = random.Random(31)
+    for step in range(600):
+        action = rng.random()
+        if action < 0.3:
+            key = rng.randrange(1500) * 2 + 1
+            if key in shadow:
+                continue
+            lsm.insert((key, f"i{step}"))
+            shadow[key] = (key, f"i{step}")
+        elif action < 0.6 and shadow:
+            key = rng.choice(list(shadow))
+            lsm.delete(key)
+            del shadow[key]
+        elif shadow:
+            key = rng.choice(list(shadow))
+            lsm.modify(key, {"payload": f"m{step}"})
+            shadow[key] = (key, f"m{step}")
+    assert scan_dict(lsm) == shadow
+    assert lsm.entry_writes > 0  # exercised propagation
+
+
+def test_write_amplification_grows_with_rewrites():
+    """Repeated C0->C1 merges rewrite C1: writes/update exceeds 1."""
+    lsm = make_lsm(memory_bytes=2 * KB, levels=1, size_ratio=64)
+    for i in range(4000):
+        lsm.modify((i % 1000) * 2, {"payload": f"v{i}"})
+    assert lsm.writes_per_update > 2.0
+
+
+def test_write_amplification_tracks_theory_order():
+    """Measured amplification has the (r+1)/2-ish magnitude of Section 2.3."""
+    ratio = 16
+    lsm = make_lsm(memory_bytes=4 * KB, levels=1, size_ratio=ratio, ssd_capacity=32 * MB)
+    for i in range(20000):
+        lsm.modify((i % 1000) * 2, {"payload": f"v{i}"})
+    predicted = theory.lsm_writes_per_update(ratio, 1)  # (r+1)/2 = 8.5
+    assert predicted / 3 < lsm.writes_per_update < predicted * 3
+
+
+def test_deeper_lsm_reduces_per_level_ratio():
+    shallow = make_lsm(memory_bytes=2 * KB, levels=1)
+    deep = make_lsm(memory_bytes=2 * KB, levels=3)
+    assert deep.size_ratio < shallow.size_ratio
+
+
+def test_query_ts_hides_later_updates():
+    lsm = make_lsm()
+    lsm.modify(40, {"payload": "before"})
+    scan = lsm.range_scan(38, 44)
+    first = next(scan)
+    lsm.modify(44, {"payload": "after"})
+    rest = {SCHEMA.key(r): r for r in scan}
+    assert rest[44] == (44, "rec-22")
+    assert first[0] == 38

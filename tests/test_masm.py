@@ -1,0 +1,311 @@
+"""MaSM engine integration: freshness, flushing, run budget, parameters."""
+
+import random
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig, derive_parameters
+from repro.core.update import UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.timestamps import TimestampOracle
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_masm(
+    n_records=2000, ssd_capacity=8 * MB, alpha=1.0, block_size=4 * KB, **config_kwargs
+):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=ssd_capacity))
+    table = Table.create(disk_vol, "t", SCHEMA, n_records)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n_records))
+    config = MaSMConfig(
+        alpha=alpha, ssd_page_size=16 * KB, block_size=block_size, **config_kwargs
+    )
+    return MaSM(table, ssd_vol, config=config)
+
+
+def scan_keys(masm, begin=0, end=2**62):
+    return [SCHEMA.key(r) for r in masm.range_scan(begin, end)]
+
+
+def scan_dict(masm, begin=0, end=2**62):
+    return {SCHEMA.key(r): r for r in masm.range_scan(begin, end)}
+
+
+# ------------------------------------------------------------- parameters
+def test_derive_parameters_matches_paper_example():
+    """4GB flash with 64KB pages: M=256 pages = 16MB memory (Section 4.1)."""
+    from repro.util.units import GB
+
+    params = derive_parameters(4 * GB, 64 * KB, alpha=1.0)
+    assert params.M == 256
+    assert params.total_memory_pages == 256  # 16MB / 64KB
+    assert params.update_pages == 128  # S = 0.5M
+    assert params.merge_fan_in == 97  # N = 0.375M + 1
+
+
+def test_derive_parameters_2m():
+    from repro.util.units import GB
+
+    params = derive_parameters(4 * GB, 64 * KB, alpha=2.0)
+    assert params.total_memory_pages == 512
+    assert params.update_pages == 256
+    assert params.query_pages == 256
+
+
+def test_alpha_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        derive_parameters(4 * MB, 16 * KB, alpha=3.0)
+    with pytest.raises(ValueError):
+        derive_parameters(4 * MB, 16 * KB, alpha=0.01)
+
+
+# --------------------------------------------------------------- freshness
+def test_scan_sees_cached_insert():
+    masm = make_masm()
+    masm.insert((41, "new"))
+    d = scan_dict(masm, 38, 44)
+    assert d[41] == (41, "new")
+    assert set(d) == {38, 40, 41, 42, 44}
+
+
+def test_scan_sees_cached_delete():
+    masm = make_masm()
+    masm.delete(40)
+    assert 40 not in scan_dict(masm, 30, 50)
+
+
+def test_scan_sees_cached_modify():
+    masm = make_masm()
+    masm.modify(40, {"payload": "patched"})
+    assert scan_dict(masm, 40, 40)[40] == (40, "patched")
+
+
+def test_delete_then_insert_is_replace():
+    masm = make_masm()
+    masm.delete(40)
+    masm.insert((40, "reborn"))
+    assert scan_dict(masm, 40, 40)[40] == (40, "reborn")
+
+
+def test_update_chain_across_flushes():
+    masm = make_masm()
+    masm.modify(40, {"payload": "v1"})
+    masm.flush_buffer()
+    masm.modify(40, {"payload": "v2"})
+    masm.flush_buffer()
+    masm.modify(40, {"payload": "v3"})
+    assert scan_dict(masm, 40, 40)[40] == (40, "v3")
+
+
+def test_scan_output_stays_key_ordered():
+    masm = make_masm(n_records=500)
+    rng = random.Random(5)
+    live = {i * 2 for i in range(500)}
+    for _ in range(300):
+        key = rng.randrange(0, 1000)
+        if key in live:
+            if rng.random() < 0.7:
+                masm.modify(key, {"payload": "m"})
+            else:
+                masm.delete(key)
+                live.discard(key)
+        else:
+            masm.insert((key, "i"))
+            live.add(key)
+    keys = scan_keys(masm)
+    assert keys == sorted(set(keys))
+    assert set(keys) == live
+
+
+def test_masm_equivalent_to_shadow_model():
+    """MaSM's merged scan must equal a dict-based shadow of the updates."""
+    masm = make_masm(n_records=800, auto_migrate=False)
+    shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(800)}
+    rng = random.Random(42)
+    inserted_odd = set()
+    for step in range(2000):
+        action = rng.random()
+        if action < 0.35:  # insert a new odd key
+            key = rng.randrange(0, 1600) * 2 + 1
+            if key in shadow or key in inserted_odd:
+                continue
+            masm.insert((key, f"new-{step}"))
+            shadow[key] = (key, f"new-{step}")
+            inserted_odd.add(key)
+        elif action < 0.6:  # delete an existing key
+            if not shadow:
+                continue
+            key = rng.choice(list(shadow))
+            masm.delete(key)
+            del shadow[key]
+        else:  # modify an existing key
+            if not shadow:
+                continue
+            key = rng.choice(list(shadow))
+            masm.modify(key, {"payload": f"mod-{step}"})
+            shadow[key] = (key, f"mod-{step}")
+        if step % 400 == 399:
+            assert scan_dict(masm) == shadow
+    assert scan_dict(masm) == shadow
+    assert masm.stats.flushes > 0  # the workload crossed buffer flushes
+
+
+# ------------------------------------------------------ visibility & order
+def test_query_does_not_see_later_updates():
+    masm = make_masm()
+    masm.modify(40, {"payload": "before"})
+    scan = masm.range_scan(0, 100)
+    first = next(scan)  # query timestamp fixed at scan construction
+    masm.modify(42, {"payload": "after"})
+    rest = {SCHEMA.key(r): r for r in scan}
+    assert rest[42] == (42, "rec-21")  # 'after' is invisible
+    assert rest[40] == (40, "before")
+    assert first is not None
+
+
+def test_concurrent_scans_get_distinct_timestamps():
+    masm = make_masm()
+    s1 = masm.range_scan(0, 10)
+    s2 = masm.range_scan(0, 10)
+    assert masm.active_scan_count == 2
+    list(s1)
+    list(s2)
+    assert masm.active_scan_count == 0
+
+
+def test_scan_during_flush_handover():
+    masm = make_masm()
+    for i in range(50):
+        masm.modify(i * 2, {"payload": f"m{i}"})
+    scan = masm.range_scan(0, 200)
+    got = [next(scan) for _ in range(3)]
+    masm.flush_buffer()  # flush while the scan is mid-flight
+    rest = list(scan)
+    all_records = got + rest
+    for r in all_records:
+        key = SCHEMA.key(r)
+        if key <= 98:
+            assert r[1] == f"m{key // 2}", f"lost update for key {key}"
+
+
+# ----------------------------------------------------------- run mechanics
+def test_buffer_flush_creates_one_pass_run():
+    masm = make_masm()
+    masm.modify(0, {"payload": "x"})
+    run = masm.flush_buffer()
+    assert run is not None
+    assert run.passes == 1
+    assert masm.one_pass_runs == 1
+    assert masm.stats.flushes == 1
+
+
+def test_flush_empty_buffer_is_noop():
+    masm = make_masm()
+    assert masm.flush_buffer() is None
+
+
+def test_page_stealing_grows_buffer_when_idle():
+    masm = make_masm()
+    base = masm.buffer.capacity_bytes
+    # Fill the buffer past S pages with no scans active.
+    i = 0
+    while masm.stats.page_steals == 0 and i < 200_000:
+        masm.modify((i % 1000) * 2, {"payload": "s"})
+        i += 1
+    assert masm.stats.page_steals > 0
+    assert masm.buffer.capacity_bytes > base
+    # Flushing resets the buffer to S pages.
+    masm.flush_buffer()
+    assert masm.buffer.capacity_bytes == base
+
+
+def test_no_page_stealing_with_active_scan():
+    masm = make_masm()
+    scan = masm.range_scan(0, 10)
+    next(scan)
+    i = 0
+    while masm.stats.flushes == 0 and i < 200_000:
+        masm.modify((i % 1000) * 2, {"payload": "s"})
+        i += 1
+    assert masm.stats.page_steals == 0
+    assert masm.stats.flushes >= 1
+    list(scan)
+
+
+def test_run_budget_merges_runs():
+    masm = make_masm(ssd_capacity=2 * MB, auto_migrate=False)
+    # Force many tiny 1-pass runs.
+    budget = masm.params.query_pages
+    made = 0
+    key = 1
+    while made <= budget + 2:
+        masm.modify((key % 1000) * 2, {"payload": "x"})
+        key += 1
+        if masm.buffer.count >= 40:
+            masm.flush_buffer()
+            made += 1
+    assert len(masm.runs) > budget
+    list(masm.range_scan(0, 10))  # scan setup enforces the budget
+    assert len(masm.runs) <= budget
+    assert masm.multi_pass_runs >= 1
+    assert masm.stats.runs_merged > 0
+
+
+def test_merged_runs_preserve_update_chains():
+    masm = make_masm(ssd_capacity=2 * MB, auto_migrate=False)
+    masm.modify(40, {"payload": "v1"})
+    masm.flush_buffer()
+    masm.modify(40, {"payload": "v2"})
+    masm.flush_buffer()
+    masm._merge_earliest_runs(2)
+    assert len(masm.runs) == 1
+    assert masm.runs[0].passes == 2
+    assert scan_dict(masm, 40, 40)[40] == (40, "v2")
+
+
+def test_ssd_writes_per_update_counted():
+    masm = make_masm(auto_migrate=False)
+    for i in range(100):
+        masm.modify(i * 2, {"payload": "w"})
+    masm.flush_buffer()
+    assert masm.stats.updates_ingested == 100
+    assert masm.stats.updates_written_to_ssd == 100
+    assert masm.stats.ssd_writes_per_update == 1.0
+
+
+def test_no_random_ssd_writes():
+    """Design goal 2: MaSM never writes the SSD randomly."""
+    masm = make_masm(ssd_capacity=2 * MB, auto_migrate=False)
+    ssd = masm.ssd.device
+    for i in range(3000):
+        masm.modify((i % 1000) * 2, {"payload": "x"})
+        if masm.buffer.count >= 64:
+            masm.flush_buffer()
+    list(masm.range_scan(0, 100))
+    # Every run is written append-only; at most one reposition per run file.
+    assert ssd.stats.rand_writes <= masm.stats.runs_created
+
+
+def test_memory_bytes_accounts_indexes():
+    masm = make_masm()
+    base = masm.memory_bytes
+    masm.modify(0, {"payload": "x"})
+    masm.flush_buffer()
+    assert masm.memory_bytes > base
+
+
+def test_duplicate_merging_on_flush():
+    masm = make_masm(merge_duplicates_on_flush=True, auto_migrate=False)
+    for v in range(10):
+        masm.modify(40, {"payload": f"v{v}"})
+    run = masm.flush_buffer()
+    assert run.count == 1  # ten modifies collapsed into one
+    assert masm.stats.duplicates_merged == 9
+    assert scan_dict(masm, 40, 40)[40] == (40, "v9")

@@ -1,0 +1,106 @@
+"""In-memory differential baseline: correctness and copy-based migration."""
+
+import random
+
+from repro.baselines.memdiff import InMemoryDifferential
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_engine(n=1000, memory_bytes=16 * KB, auto_migrate=True):
+    # The volume holds TWO copies of the table: prior-art migration swaps.
+    volume = StorageVolume(SimulatedDisk(capacity=256 * MB))
+    table = Table.create(volume, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    return InMemoryDifferential(
+        table, memory_bytes=memory_bytes, auto_migrate=auto_migrate
+    )
+
+
+def scan_dict(engine, begin=0, end=2**62):
+    return {SCHEMA.key(r): r for r in engine.range_scan(begin, end)}
+
+
+def table_dict(table):
+    return {SCHEMA.key(r): r for r in table.range_scan(*table.full_key_range())}
+
+
+def test_scan_sees_buffered_updates():
+    engine = make_engine(auto_migrate=False)
+    engine.insert((41, "new"))
+    engine.delete(42)
+    engine.modify(40, {"payload": "patched"})
+    d = scan_dict(engine, 38, 46)
+    assert d[41] == (41, "new")
+    assert 42 not in d
+    assert d[40] == (40, "patched")
+
+
+def test_migration_triggered_when_full():
+    engine = make_engine(memory_bytes=4 * KB)
+    i = 0
+    while engine.migrations == 0 and i < 10000:
+        engine.modify((i % 1000) * 2, {"payload": f"v{i}"})
+        i += 1
+    assert engine.migrations >= 1
+    assert engine.used_bytes < engine.memory_bytes
+
+
+def test_migration_writes_new_copy_and_swaps():
+    engine = make_engine(auto_migrate=False)
+    old_file = engine.table.heap.file
+    engine.modify(40, {"payload": "migrated"})
+    engine.migrate()
+    assert engine.table.heap.file is not old_file
+    assert table_dict(engine.table)[40] == (40, "migrated")
+    # The old extent was deleted after the swap.
+    assert old_file.name not in engine.disk
+
+
+def test_migration_noop_when_empty():
+    engine = make_engine(auto_migrate=False)
+    assert engine.migrate() is None
+
+
+def test_matches_shadow_model_through_migrations():
+    engine = make_engine(n=500, memory_bytes=4 * KB)
+    shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(500)}
+    rng = random.Random(13)
+    for step in range(800):
+        action = rng.random()
+        if action < 0.3:
+            key = rng.randrange(1500) * 2 + 1
+            if key in shadow:
+                continue
+            engine.insert((key, f"i{step}"))
+            shadow[key] = (key, f"i{step}")
+        elif action < 0.6 and shadow:
+            key = rng.choice(list(shadow))
+            engine.delete(key)
+            del shadow[key]
+        elif shadow:
+            key = rng.choice(list(shadow))
+            engine.modify(key, {"payload": f"m{step}"})
+            shadow[key] = (key, f"m{step}")
+    assert scan_dict(engine) == shadow
+    assert engine.migrations > 0
+
+
+def test_migration_frequency_halves_with_double_memory():
+    """The Figure 1 trade-off, measured: 2x memory => ~1/2 the migrations."""
+
+    def run(memory_bytes):
+        engine = make_engine(n=300, memory_bytes=memory_bytes)
+        for i in range(3000):
+            engine.modify((i % 300) * 2, {"payload": f"v{i}"})
+        return engine.migrations
+
+    small = run(4 * KB)
+    large = run(8 * KB)
+    assert large > 0
+    assert small >= 1.9 * large  # halving, within boundary rounding

@@ -1,0 +1,87 @@
+"""Volcano operators over tables."""
+
+from repro.engine.operators import (
+    Aggregate,
+    Filter,
+    IterSource,
+    Limit,
+    Project,
+    TableRangeScan,
+    count_reducer,
+    sum_reducer,
+)
+from repro.engine.record import Schema, synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.util.units import MB
+
+
+def make_table(n=500):
+    volume = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    table = Table.create(volume, "t", synthetic_schema(), n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    return table
+
+
+def test_table_range_scan_operator():
+    table = make_table()
+    scan = TableRangeScan(table, 10, 20)
+    assert [r[0] for r in scan] == [10, 12, 14, 16, 18, 20]
+
+
+def test_operator_next_protocol():
+    scan = TableRangeScan(make_table(), 0, 4)
+    scan.open()
+    assert scan.next()[0] == 0
+    assert scan.next()[0] == 2
+    assert scan.next()[0] == 4
+    assert scan.next() is None
+    scan.close()
+
+
+def test_next_without_open_auto_opens():
+    scan = TableRangeScan(make_table(), 0, 2)
+    assert scan.next()[0] == 0
+
+
+def test_filter():
+    src = IterSource([(i,) for i in range(10)])
+    assert [r[0] for r in Filter(src, lambda r: r[0] % 3 == 0)] == [0, 3, 6, 9]
+
+
+def test_project():
+    schema = Schema([("a", "u32"), ("b", "u32"), ("c", "u32")])
+    src = IterSource([(1, 2, 3), (4, 5, 6)])
+    assert list(Project(src, schema, ["c", "a"])) == [(3, 1), (6, 4)]
+
+
+def test_limit():
+    src = IterSource([(i,) for i in range(100)])
+    assert len(list(Limit(src, 7))) == 7
+
+
+def test_limit_larger_than_input():
+    src = IterSource([(1,), (2,)])
+    assert len(list(Limit(src, 10))) == 2
+
+
+def test_aggregate_count_and_sum():
+    src = IterSource([(i, i * 2) for i in range(5)])
+    agg = Aggregate(src, [count_reducer(), sum_reducer(1)])
+    assert list(agg) == [(5, 20)]
+
+
+def test_aggregate_empty_input():
+    agg = Aggregate(IterSource([]), [count_reducer()])
+    assert list(agg) == [(0,)]
+
+
+def test_composed_pipeline():
+    table = make_table(100)
+    plan = Aggregate(
+        Filter(TableRangeScan(table, 0, 100), lambda r: r[0] % 4 == 0),
+        [count_reducer()],
+    )
+    # Keys 0..100 even: 51 records; every other one divisible by 4: 26.
+    assert list(plan) == [(26,)]

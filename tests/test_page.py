@@ -1,0 +1,138 @@
+"""SlottedPage: insert/get/delete/replace, serialization, corruption checks."""
+
+import pytest
+
+from repro.engine.page import DEFAULT_PAGE_SIZE, SlottedPage, empty_page_bytes
+from repro.errors import PageError
+
+
+def test_insert_and_get():
+    page = SlottedPage()
+    slot = page.insert(b"record-0")
+    assert slot == 0
+    assert page.get(slot) == b"record-0"
+
+
+def test_slots_are_sequential():
+    page = SlottedPage()
+    assert [page.insert(f"r{i}".encode()) for i in range(5)] == list(range(5))
+    assert page.live_count == 5
+
+
+def test_overflow_raises():
+    page = SlottedPage(page_size=128)
+    with pytest.raises(PageError):
+        page.insert(b"x" * 200)
+
+
+def test_fits_accounts_for_slot_entry():
+    page = SlottedPage(page_size=128)
+    free = page.free_space
+    assert page.fits(free - 8)  # record + 8-byte slot entry exactly
+    assert not page.fits(free - 7)
+
+
+def test_delete_tombstones_and_preserves_slot_numbers():
+    page = SlottedPage()
+    page.insert(b"a")
+    page.insert(b"b")
+    page.delete(0)
+    assert page.is_deleted(0)
+    assert page.get(1) == b"b"
+    assert page.live_count == 1
+    with pytest.raises(PageError):
+        page.get(0)
+    with pytest.raises(PageError):
+        page.delete(0)
+
+
+def test_replace_same_size_in_place():
+    page = SlottedPage()
+    page.insert(b"aaaa")
+    heap_before = page.free_space
+    page.replace(0, b"bbbb")
+    assert page.get(0) == b"bbbb"
+    assert page.free_space == heap_before
+
+
+def test_replace_different_size():
+    page = SlottedPage()
+    page.insert(b"short")
+    page.replace(0, b"a much longer record body")
+    assert page.get(0) == b"a much longer record body"
+
+
+def test_records_iterates_live_slots():
+    page = SlottedPage()
+    for i in range(4):
+        page.insert(f"r{i}".encode())
+    page.delete(2)
+    assert [(s, r) for s, r in page.records()] == [
+        (0, b"r0"),
+        (1, b"r1"),
+        (3, b"r3"),
+    ]
+
+
+def test_compact_reclaims_space():
+    page = SlottedPage(page_size=256)
+    page.insert(b"x" * 60)
+    page.insert(b"y" * 60)
+    page.delete(0)
+    free_before = page.free_space
+    page.compact()
+    assert page.free_space > free_before
+    assert page.get(1) == b"y" * 60
+    assert page.is_deleted(0)
+
+
+def test_serialization_roundtrip():
+    page = SlottedPage(timestamp=777)
+    page.insert(b"alpha")
+    page.insert(b"beta")
+    page.delete(0)
+    clone = SlottedPage.from_bytes(page.to_bytes())
+    assert clone.timestamp == 777
+    assert clone.is_deleted(0)
+    assert clone.get(1) == b"beta"
+    assert len(clone.to_bytes()) == DEFAULT_PAGE_SIZE
+
+
+def test_timestamp_survives_roundtrip():
+    page = SlottedPage(timestamp=123456789)
+    clone = SlottedPage.from_bytes(page.to_bytes())
+    assert clone.timestamp == 123456789
+
+
+def test_empty_page_bytes_parses():
+    page = SlottedPage.from_bytes(empty_page_bytes())
+    assert page.slot_count == 0
+    assert page.timestamp == 0
+
+
+def test_corrupt_header_rejected():
+    data = bytearray(empty_page_bytes())
+    data[8:12] = (99999).to_bytes(4, "little")  # absurd slot count
+    with pytest.raises(PageError):
+        SlottedPage.from_bytes(bytes(data))
+
+
+def test_truncated_page_rejected():
+    with pytest.raises(PageError):
+        SlottedPage.from_bytes(b"\x00" * 8)
+
+
+def test_bad_slot_index():
+    page = SlottedPage()
+    with pytest.raises(PageError):
+        page.get(0)
+    with pytest.raises(PageError):
+        page.get(-1)
+
+
+def test_len_counts_live():
+    page = SlottedPage()
+    page.insert(b"a")
+    page.insert(b"b")
+    page.delete(1)
+    assert len(page) == 1

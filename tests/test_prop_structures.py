@@ -1,0 +1,159 @@
+"""Property-based tests: core data structures vs reference models."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import BPlusTree
+from repro.engine.page import SlottedPage
+from repro.engine.record import Schema
+from repro.errors import OutOfSpaceError, StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.util.units import KB, MB
+
+# ---------------------------------------------------------------- B+-tree
+btree_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "search"]),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=200,
+)
+
+
+@given(ops=btree_ops, order=st.integers(min_value=4, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_btree_matches_multimap_model(ops, order):
+    tree = BPlusTree(order=order)
+    model: dict[int, list[int]] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            model.setdefault(key, []).append(value)
+        elif op == "delete":
+            expected = bool(model.get(key)) and value in model.get(key, [])
+            assert tree.delete(key, value) == expected
+            if expected:
+                model[key].remove(value)
+        else:
+            assert tree.search(key) == model.get(key, [])
+    tree.check_invariants()
+    expected_items = [
+        (k, v) for k in sorted(model) for v in model[k] if model[k]
+    ]
+    assert list(tree.items()) == expected_items
+
+
+@given(
+    lo=st.integers(min_value=0, max_value=50),
+    span=st.integers(min_value=0, max_value=50),
+    keys=st.lists(st.integers(min_value=0, max_value=60), max_size=80),
+)
+@settings(max_examples=60, deadline=None)
+def test_btree_range_matches_filter(lo, span, keys):
+    tree = BPlusTree(order=6)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    hi = lo + span
+    got = [(k, v) for k, v in tree.range(lo, hi)]
+    expected = sorted(
+        ((k, i) for i, k in enumerate(keys) if lo <= k <= hi),
+        key=lambda kv: (kv[0], keys.index(kv[0]) if False else 0),
+    )
+    # Order within a key is insertion order; compare as multisets per key.
+    assert sorted(got) == sorted(expected)
+    assert [k for k, _ in got] == sorted(k for k, _ in got)
+
+
+# ----------------------------------------------------------- slotted pages
+page_records = st.lists(st.binary(min_size=1, max_size=120), max_size=20)
+
+
+@given(records=page_records)
+@settings(max_examples=60, deadline=None)
+def test_page_roundtrip_arbitrary_records(records):
+    page = SlottedPage(page_size=4096)
+    stored = []
+    for data in records:
+        if not page.fits(len(data)):
+            continue
+        stored.append((page.insert(data), data))
+    clone = SlottedPage.from_bytes(page.to_bytes())
+    for slot, data in stored:
+        assert clone.get(slot) == data
+
+
+@given(
+    records=page_records,
+    deletes=st.sets(st.integers(min_value=0, max_value=19)),
+)
+@settings(max_examples=60, deadline=None)
+def test_page_delete_compact_preserves_survivors(records, deletes):
+    page = SlottedPage(page_size=4096)
+    slots = {}
+    for data in records:
+        if page.fits(len(data)):
+            slots[page.insert(data)] = data
+    for slot in list(deletes):
+        if slot in slots:
+            page.delete(slot)
+            del slots[slot]
+    page.compact()
+    survivors = dict(page.records())
+    assert survivors == slots
+
+
+# ------------------------------------------------------------- schema pack
+field_values = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(alphabet=string.ascii_letters + string.digits, max_size=12),
+)
+
+
+@given(values=field_values)
+@settings(max_examples=100, deadline=None)
+def test_schema_pack_unpack_roundtrip(values):
+    schema = Schema([("a", "u32"), ("b", "i64"), ("c", "f64"), ("d", "s12")])
+    assert schema.unpack(schema.pack(values)) == values
+
+
+# ------------------------------------------------------- extent allocation
+alloc_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "delete"]),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=1, max_value=64),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=alloc_ops)
+@settings(max_examples=60, deadline=None)
+def test_allocator_never_overlaps_and_conserves_space(ops):
+    capacity = 256 * KB
+    volume = StorageVolume(SimulatedDisk(capacity=capacity))
+    live: dict[str, tuple[int, int]] = {}
+    for op, name_id, size_kb in ops:
+        name = f"f{name_id}"
+        if op == "create" and name not in live:
+            try:
+                handle = volume.create(name, size_kb * KB)
+            except OutOfSpaceError:
+                continue
+            live[name] = (handle.offset, handle.size)
+        elif op == "delete" and name in live:
+            volume.delete(name)
+            del live[name]
+        # Invariant: live extents never overlap.
+        spans = sorted(live.values())
+        for (o1, s1), (o2, _s2) in zip(spans, spans[1:]):
+            assert o1 + s1 <= o2
+        # Invariant: used + free == capacity.
+        used = sum(s for _, s in live.values())
+        assert volume.free_bytes == capacity - used

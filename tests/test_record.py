@@ -1,0 +1,119 @@
+"""Schema packing/unpacking and modification rules."""
+
+import pytest
+
+from repro.engine.record import Field, Schema, synthetic_schema
+from repro.errors import SchemaError
+
+
+def lineitem_like():
+    return Schema(
+        [("okey", "u64"), ("qty", "u32"), ("price", "f64"), ("comment", "s20")]
+    )
+
+
+def test_record_size_is_sum_of_widths():
+    schema = lineitem_like()
+    assert schema.record_size == 8 + 4 + 8 + 20
+
+
+def test_pack_unpack_roundtrip():
+    schema = lineitem_like()
+    rec = (42, 7, 19.99, "hello")
+    assert schema.unpack(schema.pack(rec)) == rec
+
+
+def test_string_padding_stripped():
+    schema = Schema([("k", "u32"), ("s", "s8")])
+    packed = schema.pack((1, "ab"))
+    assert len(packed) == 12
+    assert schema.unpack(packed) == (1, "ab")
+
+
+def test_string_too_long_rejected():
+    schema = Schema([("k", "u32"), ("s", "s4")])
+    with pytest.raises(SchemaError):
+        schema.pack((1, "toolong"))
+
+
+def test_wrong_arity_rejected():
+    schema = lineitem_like()
+    with pytest.raises(SchemaError):
+        schema.pack((1, 2))
+
+
+def test_unpack_wrong_size_rejected():
+    schema = lineitem_like()
+    with pytest.raises(SchemaError):
+        schema.unpack(b"\x00" * 3)
+
+
+def test_key_defaults_to_first_field():
+    schema = lineitem_like()
+    assert schema.key_field == "okey"
+    assert schema.key((9, 1, 2.0, "x")) == 9
+
+
+def test_explicit_key_field():
+    schema = Schema([("a", "u32"), ("b", "u32")], key="b")
+    assert schema.key((1, 2)) == 2
+
+
+def test_unknown_key_field_rejected():
+    with pytest.raises(SchemaError):
+        Schema([("a", "u32")], key="zzz")
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(SchemaError):
+        Schema([("a", "u32"), ("a", "u64")])
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(SchemaError):
+        Schema([("a", "u16")])
+
+
+def test_apply_modification():
+    schema = lineitem_like()
+    rec = (42, 7, 19.99, "hello")
+    out = schema.apply_modification(rec, {"qty": 9, "comment": "bye"})
+    assert out == (42, 9, 19.99, "bye")
+    assert rec == (42, 7, 19.99, "hello")  # original untouched
+
+
+def test_apply_modification_unknown_field():
+    schema = lineitem_like()
+    with pytest.raises(SchemaError):
+        schema.apply_modification((42, 7, 19.99, "x"), {"nope": 1})
+
+
+def test_pack_many_concatenates():
+    schema = Schema([("k", "u32")])
+    data = schema.pack_many([(1,), (2,), (3,)])
+    assert len(data) == 12
+    assert schema.unpack(data[4:8]) == (2,)
+
+
+def test_synthetic_schema_is_100_bytes():
+    schema = synthetic_schema()
+    assert schema.record_size == 100
+    assert schema.key_field == "key"
+    rec = (123, "payload")
+    assert schema.unpack(schema.pack(rec)) == rec
+
+
+def test_synthetic_schema_too_small():
+    with pytest.raises(SchemaError):
+        synthetic_schema(record_size=4)
+
+
+def test_field_width():
+    assert Field("x", "u32").width == 4
+    assert Field("x", "f64").width == 8
+    assert Field("x", "s10").width == 10
+
+
+def test_schema_equality():
+    assert lineitem_like() == lineitem_like()
+    assert lineitem_like() != synthetic_schema()

@@ -1,0 +1,165 @@
+"""Crash recovery: runs reloaded, buffer replayed, migrations redone."""
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.migration import migrate_all
+from repro.core.sortedrun import load_run
+from repro.core.update import UpdateCodec
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.log import RedoLog
+from repro.txn.recovery import rebuild_table_index, recover_masm
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def build_system(n=1000):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    config = MaSMConfig(
+        alpha=1.0, ssd_page_size=16 * KB, block_size=4 * KB, auto_migrate=False
+    )
+    log = RedoLog(ssd_vol.create("redo-log", 2 * MB))
+    masm = MaSM(table, ssd_vol, config=config)
+    masm.attach_log(log)
+    return masm, table, ssd_vol, log, config
+
+
+def crash_and_recover(masm, table, ssd_vol, log, config):
+    """Simulate losing all volatile state, then run recovery.
+
+    The devices (disk, SSD, log file) survive; a fresh Table object wraps
+    the surviving heap file with an empty (lost) sparse index.
+    """
+    bare_table = Table(table.name, table.schema, table.heap)
+    bare_table.heap.num_pages = table.heap.capacity_pages  # length unknown
+    fresh_log = RedoLog(log.file)
+    fresh_log.file._append_pos = 0  # cursor lost with the crash
+    return recover_masm(bare_table, ssd_vol, fresh_log, config=config)
+
+
+def scan_dict(masm):
+    return {SCHEMA.key(r): r for r in masm.range_scan(0, 2**62)}
+
+
+def test_recover_buffer_only():
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "fresh"})
+    masm.delete(42)
+    expected = scan_dict(masm)
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.buffer_updates_replayed == 2
+    assert report.runs_reloaded == 0
+    assert scan_dict(recovered) == expected
+
+
+def test_recover_runs_and_buffer():
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "in-run"})
+    masm.flush_buffer()
+    masm.modify(44, {"payload": "in-buffer"})
+    expected = scan_dict(masm)
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.runs_reloaded == 1
+    assert report.buffer_updates_replayed == 1
+    assert scan_dict(recovered) == expected
+    d = scan_dict(recovered)
+    assert d[40] == (40, "in-run")
+    assert d[44] == (44, "in-buffer")
+
+
+def test_flushed_updates_not_replayed_twice():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(20):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.buffer_updates_replayed == 0
+    assert recovered.buffer.count == 0
+    assert recovered.runs[0].count == 20
+
+
+def test_recovery_advances_oracle():
+    masm, table, ssd_vol, log, config = build_system()
+    ts = masm.modify(40, {"payload": "x"})
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.max_timestamp_seen >= ts
+    assert recovered.oracle.next() > ts
+
+
+def test_completed_migration_leftover_runs_deleted():
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "migrated"})
+    run = masm.flush_buffer()
+    run_name = run.name
+    migrate_all(masm, redo_log=log)
+    # Simulate crashing between the END record and the file deletion by
+    # recreating the run file.
+    codec = UpdateCodec(SCHEMA)
+    if run_name not in ssd_vol:
+        from repro.core.sortedrun import write_run
+        from repro.core.update import UpdateRecord, UpdateType
+
+        write_run(
+            ssd_vol,
+            run_name,
+            [UpdateRecord(2, 40, UpdateType.MODIFY, {"payload": "migrated"})],
+            codec,
+            block_size=4 * KB,
+        )
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.leftover_runs_deleted == 1
+    assert recovered.runs == []
+    assert scan_dict(recovered)[40] == (40, "migrated")
+
+
+def test_interrupted_migration_redone():
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "mid-flight"})
+    masm.flush_buffer()
+    # Write only the START record (the crash hit mid-migration).
+    log.log_migration_start(masm.oracle.next(), [masm.runs[0].name])
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.migrations_redone == 1
+    assert recovered.runs == []  # migration completed during recovery
+    # The update is now in the main data.
+    assert {SCHEMA.key(r): r for r in recovered.table.range_scan(38, 42)}[40] == (
+        40,
+        "mid-flight",
+    )
+
+
+def test_migration_redo_is_idempotent_when_partially_applied():
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "applied"})
+    masm.flush_buffer()
+    run_name = masm.runs[0].name
+    t = masm.oracle.next()
+    log.log_migration_start(t, [run_name])
+    # Apply the update in place (simulating the migration partially done),
+    # stamping the page with the update's timestamp.
+    table.modify_in_place(40, {"payload": "applied"}, timestamp=2)
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.migrations_redone == 1
+    assert scan_dict(recovered)[40] == (40, "applied")
+
+
+def test_rebuild_table_index():
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, 2000)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(2000))
+    entries_before = table.index.entries()
+    rows_before = table.row_count
+    table.index.rebuild([])  # lose it
+    table.row_count = 0
+    rebuild_table_index(table)
+    assert table.row_count == rows_before
+    assert table.index.entries() == entries_before
+    assert table.get(40) == (40, "rec-20")

@@ -1,0 +1,78 @@
+"""RunIndex block narrowing."""
+
+import pytest
+
+from repro.core.runindex import (
+    COARSE_GRANULARITY,
+    FINE_GRANULARITY,
+    KEY_PREFIX_BYTES,
+    RunIndex,
+)
+
+
+def make_index():
+    # 4 blocks of 4KB starting at keys 0, 100, 200, 300.
+    return RunIndex([0, 100, 200, 300], block_size=4096)
+
+
+def test_granularity_constants_match_paper():
+    assert COARSE_GRANULARITY == 64 * 1024
+    assert FINE_GRANULARITY == 4 * 1024
+
+
+def test_block_span_interior():
+    assert make_index().block_span(150, 250) == (1, 2)
+
+
+def test_block_span_single_key():
+    assert make_index().block_span(100, 100) == (1, 1)
+    # Key 99 may still be in block 0.
+    assert make_index().block_span(99, 99) == (0, 0)
+
+
+def test_block_span_whole_range():
+    assert make_index().block_span(0, 10_000) == (0, 3)
+
+
+def test_block_span_before_first_key_clamps():
+    idx = RunIndex([100, 200], block_size=4096)
+    # Range entirely before the run: nothing can match.
+    assert idx.block_span(0, 50) is None
+    # Range straddling the start clamps to block 0.
+    assert idx.block_span(50, 150) == (0, 0)
+
+
+def test_block_span_empty_inputs():
+    assert make_index().block_span(10, 5) is None
+    assert RunIndex([], block_size=4096).block_span(0, 10) is None
+
+
+def test_byte_span():
+    assert make_index().byte_span(150, 250) == (4096, 3 * 4096)
+    assert make_index().byte_span(10, 5) is None
+
+
+def test_memory_bytes_is_prefix_per_block():
+    assert make_index().memory_bytes == 4 * KEY_PREFIX_BYTES
+
+
+def test_fine_index_is_1024th_of_run():
+    """Section 3.5: 4 bytes per 4KB is ||run|| / 1024."""
+    blocks = 1000
+    idx = RunIndex(list(range(blocks)), block_size=FINE_GRANULARITY)
+    run_bytes = blocks * FINE_GRANULARITY
+    assert idx.memory_bytes == run_bytes // 1024
+
+
+def test_misordered_keys_rejected():
+    with pytest.raises(ValueError):
+        RunIndex([5, 3], block_size=4096)
+
+
+def test_bad_block_size_rejected():
+    with pytest.raises(ValueError):
+        RunIndex([1], block_size=0)
+
+
+def test_first_key_of_block():
+    assert make_index().first_key_of_block(2) == 200

@@ -1,0 +1,114 @@
+"""Secondary-index scans under cached updates (Section 5)."""
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.secondary import SecondaryIndexManager
+from repro.engine.record import Schema
+from repro.engine.table import Table
+from repro.errors import SchemaError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+SCHEMA = Schema([("k", "u32"), ("qty", "u32"), ("note", "s12")])
+
+
+def make(n=300):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    # qty = key * 3 % 1000: a non-trivial, non-unique-ish secondary attr.
+    table.bulk_load((i * 2, (i * 3) % 1000, f"n{i}") for i in range(n))
+    config = MaSMConfig(
+        alpha=1.2, ssd_page_size=8 * KB, block_size=4 * KB, auto_migrate=False
+    )
+    masm = MaSM(table, ssd_vol, config=config)
+    return masm, SecondaryIndexManager(masm, "qty")
+
+
+def y_scan_model(masm, lo, hi):
+    return sorted(
+        r for r in masm.range_scan(0, 2**62) if lo <= r[1] <= hi
+    )
+
+
+def test_rejects_clustering_key():
+    masm, _ = make(10)
+    with pytest.raises(SchemaError):
+        SecondaryIndexManager(masm, "k")
+
+
+def test_base_scan_without_updates():
+    masm, idx = make()
+    got = sorted(idx.index_scan(0, 50))
+    assert got == y_scan_model(masm, 0, 50)
+    assert got  # non-empty range
+
+
+def test_sees_buffered_modify_into_range():
+    masm, idx = make()
+    masm.modify(40, {"qty": 7})
+    got = {r[0]: r for r in idx.index_scan(0, 10)}
+    assert got[40] == (40, 7, "n20")
+
+
+def test_drops_record_whose_y_left_the_range():
+    masm, idx = make()
+    # key 0 has qty 0; move it out of [0, 10].
+    masm.modify(0, {"qty": 999})
+    got = [r for r in idx.index_scan(0, 10) if r[0] == 0]
+    assert got == []
+
+
+def test_sees_buffered_insert():
+    masm, idx = make()
+    masm.insert((9001, 5, "new"))
+    got = {r[0]: r for r in idx.index_scan(0, 10)}
+    assert got[9001] == (9001, 5, "new")
+
+
+def test_delete_removes_from_index_scan():
+    masm, idx = make()
+    masm.delete(0)  # qty 0
+    assert all(r[0] != 0 for r in idx.index_scan(0, 10))
+
+
+def test_updates_in_materialized_runs_found():
+    masm, idx = make()
+    masm.insert((9001, 5, "in-run"))
+    masm.modify(40, {"qty": 7})
+    masm.flush_buffer()
+    got = {r[0]: r for r in idx.index_scan(0, 10)}
+    assert got[9001] == (9001, 5, "in-run")
+    assert got[40] == (40, 7, "n20")
+
+
+def test_matches_model_under_mixed_updates():
+    masm, idx = make(200)
+    masm.modify(10, {"qty": 42})
+    masm.delete(12)
+    masm.insert((777, 44, "x"))
+    masm.flush_buffer()
+    masm.modify(14, {"qty": 43})
+    got = sorted(idx.index_scan(40, 50))
+    assert got == y_scan_model(masm, 40, 50)
+
+
+def test_invalidate_after_migration():
+    masm, idx = make()
+    masm.modify(40, {"qty": 7})
+    masm.flush_buffer()
+    list(idx.index_scan(0, 10))  # builds caches
+    masm.migrate()
+    idx.invalidate_after_migration()
+    got = {r[0]: r for r in idx.index_scan(0, 10)}
+    assert got[40] == (40, 7, "n20")
+
+
+def test_memory_accounting_grows():
+    masm, idx = make()
+    base = idx.memory_bytes
+    list(idx.index_scan(0, 1000))
+    assert idx.memory_bytes > base

@@ -1,0 +1,99 @@
+"""Shared-nothing MaSM: routing, fan-out scans, node-local migration."""
+
+import pytest
+
+from repro.core.sharding import (
+    ShardedWarehouse,
+    hash_partitioner,
+    range_partitioner,
+)
+from repro.engine.record import synthetic_schema
+
+SCHEMA = synthetic_schema()
+
+
+def make(num_nodes=3, n=600, partitioner=None):
+    warehouse = ShardedWarehouse(
+        SCHEMA, num_nodes, partitioner=partitioner, records_per_node=n
+    )
+    warehouse.bulk_load([(i * 2, f"rec-{i}") for i in range(n)])
+    return warehouse
+
+
+def test_needs_at_least_one_node():
+    with pytest.raises(ValueError):
+        ShardedWarehouse(SCHEMA, 0)
+
+
+def test_bulk_load_partitions_all_rows():
+    wh = make(3, 600)
+    assert wh.row_count == 600
+    sizes = wh.shard_sizes()
+    assert len(sizes) == 3
+    assert all(s > 0 for s in sizes)
+
+
+def test_hash_partitioner_spreads_keys():
+    route = hash_partitioner(4)
+    counts = [0] * 4
+    for key in range(0, 2000, 2):
+        counts[route(key)] += 1
+    assert min(counts) > 100
+
+
+def test_range_partitioner_routes_by_boundary():
+    route = range_partitioner([100, 200])
+    assert route(50) == 0
+    assert route(150) == 1
+    assert route(500) == 2
+
+
+def test_fanout_scan_is_key_ordered_and_complete():
+    wh = make(3, 500)
+    keys = [SCHEMA.key(r) for r in wh.range_scan(0, 10**9)]
+    assert keys == [i * 2 for i in range(500)]
+
+
+def test_updates_route_and_remain_visible():
+    wh = make(3, 400)
+    wh.insert((801, "new"))
+    wh.modify(40, {"payload": "patched"})
+    wh.delete(42)
+    got = {SCHEMA.key(r): r for r in wh.range_scan(0, 10**9)}
+    assert got[801] == (801, "new")
+    assert got[40] == (40, "patched")
+    assert 42 not in got
+
+
+def test_update_lands_on_exactly_one_node():
+    wh = make(3, 300)
+    before = [n.masm.stats.updates_ingested for n in wh.nodes]
+    wh.modify(100, {"payload": "x"})
+    after = [n.masm.stats.updates_ingested for n in wh.nodes]
+    assert sum(after) - sum(before) == 1
+
+
+def test_migrate_all_clears_every_cache():
+    wh = make(2, 300)
+    for i in range(60):
+        wh.modify(i * 2, {"payload": f"v{i}"})
+    wh.migrate_all()
+    assert all(not n.masm.runs for n in wh.nodes)
+    got = {SCHEMA.key(r): r for r in wh.range_scan(0, 200)}
+    assert got[0] == (0, "v0")
+
+
+def test_measure_scan_reports_parallel_critical_path():
+    wh = make(3, 600)
+    breakdown = wh.measure_scan(0, 10**9)
+    busiest = max(breakdown.device_busy.values())
+    total = sum(breakdown.device_busy.values())
+    assert breakdown.elapsed == pytest.approx(busiest)
+    assert breakdown.elapsed < total  # parallel, not serial
+
+
+def test_cache_utilizations_per_node():
+    wh = make(2, 300)
+    utils = wh.cache_utilizations()
+    assert len(utils) == 2
+    assert all(u == 0.0 for u in utils)

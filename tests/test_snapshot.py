@@ -1,0 +1,123 @@
+"""Snapshot isolation over MaSM: snapshot reads, own writes, conflicts."""
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import TransactionAborted, TransactionError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.snapshot import SnapshotManager
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_manager(n=500):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    masm = MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(alpha=1.0, ssd_page_size=16 * KB, block_size=4 * KB),
+    )
+    return SnapshotManager(masm)
+
+
+def test_transaction_sees_snapshot_not_later_commits():
+    mgr = make_manager()
+    txn = mgr.begin()
+    # A concurrent writer commits after txn started.
+    other = mgr.begin()
+    other.modify(40, {"payload": "later"})
+    other.commit()
+    assert txn.get(40) == (40, "rec-20")  # snapshot at start
+
+
+def test_transaction_sees_own_writes():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.modify(40, {"payload": "mine"})
+    txn.insert((41, "new"))
+    txn.delete(42)
+    got = {SCHEMA.key(r): r for r in txn.range_scan(38, 46)}
+    assert got[40] == (40, "mine")
+    assert got[41] == (41, "new")
+    assert 42 not in got
+    assert got[44] == (44, "rec-22")
+
+
+def test_commit_publishes_to_masm():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.modify(40, {"payload": "published"})
+    ts = txn.commit()
+    assert ts > txn.start_ts
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "published")
+
+
+def test_first_committer_wins():
+    mgr = make_manager()
+    t1 = mgr.begin()
+    t2 = mgr.begin()
+    t1.modify(40, {"payload": "one"})
+    t2.modify(40, {"payload": "two"})
+    t1.commit()
+    with pytest.raises(TransactionAborted):
+        t2.commit()
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "one")
+
+
+def test_disjoint_writes_both_commit():
+    mgr = make_manager()
+    t1 = mgr.begin()
+    t2 = mgr.begin()
+    t1.modify(40, {"payload": "one"})
+    t2.modify(44, {"payload": "two"})
+    t1.commit()
+    t2.commit()  # no overlap: fine
+
+
+def test_abort_discards_writes():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.modify(40, {"payload": "discarded"})
+    txn.abort()
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "rec-20")
+
+
+def test_own_writes_combine():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.delete(40)
+    txn.insert((40, "replaced"))
+    txn.modify(40, {"payload": "final"})
+    assert txn.get(40) == (40, "final")
+    txn.commit()
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "final")
+
+
+def test_finished_transaction_rejects_use():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.commit()
+    with pytest.raises(TransactionError):
+        txn.modify(40, {"payload": "x"})
+    with pytest.raises(TransactionError):
+        txn.commit()
+    assert txn.is_finished
+
+
+def test_read_only_commit_keeps_start_ts():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.get(40)
+    assert txn.commit() == txn.start_ts

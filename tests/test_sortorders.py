@@ -1,0 +1,125 @@
+"""Multiple sort orders with per-order MaSM caches (Section 5)."""
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.sortorders import (
+    MultiOrderTable,
+    composite_key,
+    composite_range,
+    projection_schema,
+)
+from repro.engine.record import Schema
+from repro.engine.table import Table
+from repro.errors import KeyNotFoundError, SchemaError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+BASE = Schema([("k", "u32"), ("qty", "u32"), ("note", "s12")])
+
+
+def make(n=200):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=16 * MB))
+    config = MaSMConfig(
+        alpha=1.2, ssd_page_size=8 * KB, block_size=4 * KB, auto_migrate=False
+    )
+    prevailing_table = Table.create(disk_vol, "base", BASE, n)
+    prevailing = MaSM(prevailing_table, ssd_vol, config=config)
+    multi = MultiOrderTable(prevailing)
+    by_qty = MultiOrderTable.create_projection_engine(
+        BASE, "qty", disk_vol, ssd_vol, n, "by-qty",
+        config=MaSMConfig(alpha=1.2, ssd_page_size=8 * KB, block_size=4 * KB),
+        oracle=prevailing.oracle,
+    )
+    multi.add_projection("by_qty", by_qty, "qty")
+    # qty deliberately non-unique: qty = key % 50.
+    multi.bulk_load([(i * 2, (i * 2) % 50, f"n{i}") for i in range(n)])
+    return multi
+
+
+def test_composite_key_orders_by_sort_then_rid():
+    assert composite_key(5, 1) < composite_key(5, 2) < composite_key(6, 0)
+    lo, hi = composite_range(5, 6)
+    assert lo == composite_key(5, 0)
+    assert hi >= composite_key(6, 2**32 - 1)
+
+
+def test_projection_schema_rejects_non_integer_sort():
+    with pytest.raises(SchemaError):
+        projection_schema(BASE, "note")
+
+
+def test_scan_order_sorted_by_secondary():
+    multi = make()
+    rows = list(multi.scan_order("by_qty", 0, 49))
+    qtys = [r[1] for r in rows]
+    assert qtys == sorted(qtys)
+    assert len(rows) == 200
+    # Duplicates of the same qty appear, RID-ordered.
+    assert len(set(qtys)) == 25  # only even qty values exist
+
+
+def test_prevailing_scan_unchanged():
+    multi = make()
+    keys = [r[0] for r in multi.range_scan(0, 10**9)]
+    assert keys == [i * 2 for i in range(200)]
+
+
+def test_insert_fans_out():
+    multi = make()
+    multi.insert((1001, 7, "new"))
+    assert (1001, 7, "new") in list(multi.scan_order("by_qty", 7, 7))
+    assert {r[0] for r in multi.range_scan(1001, 1001)} == {1001}
+
+
+def test_delete_fans_out():
+    multi = make()
+    multi.delete(0)  # qty 0
+    assert all(r[0] != 0 for r in multi.scan_order("by_qty", 0, 0))
+    assert list(multi.range_scan(0, 0)) == []
+    with pytest.raises(KeyNotFoundError):
+        multi.delete(0)
+
+
+def test_modify_without_sort_change():
+    multi = make()
+    multi.modify(4, {"note": "patched"})
+    row = [r for r in multi.scan_order("by_qty", 4, 4) if r[0] == 4][0]
+    assert row == (4, 4, "patched")
+
+
+def test_modify_that_moves_sort_key():
+    multi = make()
+    multi.modify(4, {"qty": 33})  # moves within the by_qty order
+    assert all(r[0] != 4 for r in multi.scan_order("by_qty", 4, 4))
+    moved = [r for r in multi.scan_order("by_qty", 33, 33) if r[0] == 4]
+    assert moved == [(4, 33, "n2")]
+    # Prevailing order sees the same record.
+    assert list(multi.range_scan(4, 4)) == [(4, 33, "n2")]
+
+
+def test_orders_agree_after_migration():
+    multi = make()
+    multi.modify(4, {"qty": 33})
+    multi.insert((1001, 7, "new"))
+    multi.delete(8)
+    multi.migrate_all()
+    assert multi.total_cached_bytes == 0
+    base_rows = sorted(multi.range_scan(0, 10**9))
+    proj_rows = sorted(multi.scan_order("by_qty", 0, 2**31))
+    assert base_rows == proj_rows
+
+
+def test_duplicate_projection_rejected():
+    multi = make(10)
+    with pytest.raises(SchemaError):
+        multi.add_projection("by_qty", multi.projections["by_qty"].masm, "qty")
+
+
+def test_unknown_projection_scan_rejected():
+    multi = make(10)
+    with pytest.raises(SchemaError):
+        list(multi.scan_order("nope", 0, 1))

@@ -1,0 +1,43 @@
+"""IOStats snapshot/delta arithmetic."""
+
+from repro.storage.stats import IOStats
+
+
+def test_snapshot_is_independent():
+    stats = IOStats(reads=3, bytes_read=300)
+    snap = stats.snapshot()
+    stats.reads += 1
+    assert snap.reads == 3
+    assert stats.reads == 4
+
+
+def test_delta():
+    stats = IOStats()
+    before = stats.snapshot()
+    stats.reads += 5
+    stats.bytes_read += 512
+    stats.busy_time += 0.25
+    delta = stats.delta(before)
+    assert delta.reads == 5
+    assert delta.bytes_read == 512
+    assert delta.busy_time == 0.25
+    assert delta.writes == 0
+
+
+def test_add():
+    a = IOStats(reads=1, writes=2, busy_time=0.5)
+    b = IOStats(reads=3, writes=4, busy_time=1.0)
+    c = a + b
+    assert (c.reads, c.writes, c.busy_time) == (4, 6, 1.5)
+
+
+def test_derived_properties():
+    stats = IOStats(reads=2, writes=3, bytes_read=10, bytes_written=20)
+    assert stats.ops == 5
+    assert stats.bytes_total == 30
+
+
+def test_describe_mentions_counts():
+    text = IOStats(reads=7, bytes_read=7 * 1024).describe()
+    assert "7 reads" in text
+    assert "7KB" in text

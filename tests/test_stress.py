@@ -1,0 +1,75 @@
+"""Larger-scale stress: sustained mixed workload across many cache cycles.
+
+Marked slow; the default assertions still run in well under a minute.
+"""
+
+import random
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.update import UpdateType
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+from repro.workloads.synthetic import SyntheticUpdateGenerator, UpdateMix
+
+SCHEMA = synthetic_schema()
+
+
+@pytest.mark.slow
+def test_sustained_zipf_workload_across_many_migrations():
+    disk_vol = StorageVolume(SimulatedDisk(capacity=256 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=16 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, 20_000, slack=0.6)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(20_000))
+    masm = MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(
+            alpha=1.0,
+            ssd_page_size=8 * KB,
+            block_size=4 * KB,
+            cache_bytes=512 * KB,
+            auto_migrate=True,
+            migration_threshold=0.7,
+            merge_duplicates_on_flush=True,
+        ),
+    )
+    gen = SyntheticUpdateGenerator(
+        num_records=20_000,
+        seed=77,
+        distribution="zipf",
+        zipf_s=1.1,
+        mix=UpdateMix(insert=0.5, delete=0.5, modify=2.0),
+        oracle=masm.oracle,
+    )
+    shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(20_000)}
+    rng = random.Random(77)
+    for step in range(40_000):
+        update = gen.next_update()
+        masm.apply(update)
+        if update.type == UpdateType.INSERT:
+            shadow[update.key] = tuple(update.content)
+        elif update.type == UpdateType.DELETE:
+            shadow.pop(update.key, None)
+        else:
+            shadow[update.key] = SCHEMA.apply_modification(
+                shadow[update.key], dict(update.content)
+            )
+        if step % 10_000 == 9_999:
+            lo = rng.randrange(0, 40_000)
+            got = {SCHEMA.key(r): r for r in masm.range_scan(lo, lo + 2_000)}
+            expected = {
+                k: v for k, v in shadow.items() if lo <= k <= lo + 2_000
+            }
+            assert got == expected
+    assert masm.stats.migrations >= 3
+    assert masm.stats.duplicates_merged > 1000  # zipf skew got folded
+    final = {SCHEMA.key(r): r for r in masm.range_scan(0, 2**62)}
+    assert final == shadow
+    # The SSD was only ever written sequentially.
+    assert ssd_vol.device.stats.rand_writes <= masm.stats.runs_created

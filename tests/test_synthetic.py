@@ -1,0 +1,113 @@
+"""Synthetic workload generators: table shape, update streams, skew."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.update import UpdateType
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.workloads.synthetic import (
+    SyntheticUpdateGenerator,
+    UpdateMix,
+    ZipfSampler,
+    build_synthetic_table,
+    range_for_bytes,
+)
+from repro.util.units import KB, MB
+
+
+def make_table(n=1000):
+    volume = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    return build_synthetic_table(volume, n)
+
+
+def test_table_has_even_keys_and_100_byte_records():
+    table = make_table(500)
+    assert table.schema.record_size == 100
+    keys = [table.schema.key(r) for r in table.range_scan(0, 10**9)]
+    assert keys == [i * 2 for i in range(500)]
+
+
+def test_update_stream_is_well_formed():
+    """Replaying the stream against a dict never produces an illegal op."""
+    gen = SyntheticUpdateGenerator(num_records=200, seed=7)
+    live = {i * 2 for i in range(200)}
+    for update in gen.stream(2000):
+        if update.type == UpdateType.INSERT:
+            assert update.key not in live
+            live.add(update.key)
+        elif update.type == UpdateType.DELETE:
+            assert update.key in live
+            live.discard(update.key)
+        else:
+            assert update.key in live
+
+
+def test_update_timestamps_strictly_increase():
+    gen = SyntheticUpdateGenerator(num_records=100, seed=1)
+    stamps = [u.timestamp for u in gen.stream(100)]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 100
+
+
+def test_mix_weights_respected():
+    gen = SyntheticUpdateGenerator(
+        num_records=1000, seed=3, mix=UpdateMix(insert=0, delete=0, modify=1)
+    )
+    kinds = Counter(u.type for u in gen.stream(500))
+    assert kinds[UpdateType.MODIFY] == 500
+
+
+def test_inserts_use_odd_keys():
+    gen = SyntheticUpdateGenerator(
+        num_records=100, seed=5, mix=UpdateMix(insert=1, delete=0, modify=0)
+    )
+    for update in gen.stream(50):
+        assert update.key % 2 == 1
+
+
+def test_zipf_skews_updates():
+    gen = SyntheticUpdateGenerator(
+        num_records=2000,
+        seed=11,
+        distribution="zipf",
+        zipf_s=1.5,
+        mix=UpdateMix(insert=0, delete=0, modify=1),
+    )
+    counts = Counter(u.key for u in gen.stream(3000))
+    top = counts.most_common(20)
+    # The hottest 20 keys take a disproportionate share under zipf.
+    assert sum(c for _, c in top) > 0.3 * 3000
+
+
+def test_uniform_does_not_skew():
+    gen = SyntheticUpdateGenerator(
+        num_records=2000, seed=11, mix=UpdateMix(insert=0, delete=0, modify=1)
+    )
+    counts = Counter(u.key for u in gen.stream(3000))
+    assert counts.most_common(1)[0][1] < 15
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(ValueError):
+        SyntheticUpdateGenerator(num_records=10, distribution="gaussian")
+
+
+def test_range_for_bytes_sizes():
+    table = make_table(5000)
+    rng = random.Random(2)
+    begin, end = range_for_bytes(table, 10 * KB, rng)
+    got = list(table.range_scan(begin, end))
+    approx_records = 10 * KB // 100
+    assert 0.5 * approx_records <= len(got) <= 1.5 * approx_records
+
+
+def test_zipf_sampler_bounds():
+    sampler = ZipfSampler(100, s=1.2, seed=1)
+    draws = [sampler.sample() for _ in range(1000)]
+    assert all(0 <= d < 100 for d in draws)
+    with pytest.raises(ValueError):
+        ZipfSampler(0)

@@ -1,0 +1,138 @@
+"""Table: bulk load, range scans, point ops, in-place updates, overflow."""
+
+import pytest
+
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.iosched import CpuMeter
+from repro.util.units import MB
+
+
+def make_table(n=5000, cpu=None):
+    volume = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    table = Table.create(volume, "t", synthetic_schema(), n, cpu=cpu)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    return table
+
+
+def test_bulk_load_counts_rows():
+    table = make_table(1000)
+    assert table.row_count == 1000
+    assert table.num_pages > 0
+
+
+def test_full_scan_in_key_order():
+    table = make_table(1000)
+    begin, end = table.full_key_range()
+    keys = [table.schema.key(r) for r in table.range_scan(begin, end)]
+    assert keys == [i * 2 for i in range(1000)]
+
+
+def test_range_scan_bounds_inclusive():
+    table = make_table(1000)
+    got = list(table.range_scan(10, 20))
+    assert [table.schema.key(r) for r in got] == [10, 12, 14, 16, 18, 20]
+
+
+def test_range_scan_empty_result():
+    table = make_table(100)
+    assert list(table.range_scan(3, 3)) == []  # odd keys absent
+
+
+def test_get_existing_and_missing():
+    table = make_table(500)
+    assert table.get(40) == (40, "rec-20")
+    with pytest.raises(KeyNotFoundError):
+        table.get(41)
+
+
+def test_insert_in_place_visible_to_scan_and_get():
+    table = make_table(500)
+    table.insert_in_place((41, "new"), timestamp=5)
+    assert table.get(41) == (41, "new")
+    keys = [table.schema.key(r) for r in table.range_scan(40, 44)]
+    assert keys == [40, 41, 42, 44]
+    assert table.row_count == 501
+
+
+def test_insert_duplicate_rejected():
+    table = make_table(100)
+    with pytest.raises(DuplicateKeyError):
+        table.insert_in_place((40, "dup"))
+
+
+def test_delete_in_place():
+    table = make_table(500)
+    table.delete_in_place(40)
+    with pytest.raises(KeyNotFoundError):
+        table.get(40)
+    assert table.row_count == 499
+    with pytest.raises(KeyNotFoundError):
+        table.delete_in_place(40)
+
+
+def test_modify_in_place():
+    table = make_table(500)
+    table.modify_in_place(40, {"payload": "patched"})
+    assert table.get(40) == (40, "patched")
+    with pytest.raises(KeyNotFoundError):
+        table.modify_in_place(41, {"payload": "x"})
+
+
+def test_inplace_update_sets_page_timestamp():
+    table = make_table(500)
+    page_no = table.index.locate_page(40)
+    table.modify_in_place(40, {"payload": "x"}, timestamp=77)
+    assert table.heap.read_page(page_no).timestamp == 77
+
+
+def test_inplace_updates_use_small_random_io():
+    table = make_table(5000)
+    device = table.heap.file.device
+    before = device.snapshot()
+    table.modify_in_place(2000, {"payload": "y"})
+    delta = device.stats.delta(before)
+    assert delta.reads == 1
+    assert delta.writes == 1
+    assert delta.bytes_read == table.heap.page_size
+
+
+def test_overflow_records_merge_into_scans():
+    table = make_table(500)
+    # Fill one page's slack until records overflow to the side tree.
+    inserted = []
+    k = 101
+    while table.overflow_count == 0 and k < 1000:
+        table.insert_in_place((k, "of"), timestamp=1)
+        inserted.append(k)
+        k += 2
+    assert table.overflow_count > 0
+    keys = [table.schema.key(r) for r in table.range_scan(0, 1200)]
+    assert keys == sorted(keys)
+    assert set(inserted) <= set(keys)
+    # Overflowed records still reachable by point ops.
+    last = inserted[-1]
+    assert table.get(last) == (last, "of")
+    table.modify_in_place(last, {"payload": "of2"})
+    assert table.get(last) == (last, "of2")
+    table.delete_in_place(last)
+    with pytest.raises(KeyNotFoundError):
+        table.get(last)
+
+
+def test_scan_charges_cpu():
+    cpu = CpuMeter()
+    table = make_table(1000, cpu=cpu)
+    list(table.range_scan(*table.full_key_range()))
+    assert cpu.total > 0
+
+
+def test_scan_page_range():
+    table = make_table(2000)
+    pages = list(table.scan_page_range(100, 200))
+    assert pages
+    first, last = table.index.page_span(100, 200)
+    assert [p for p, _ in pages] == list(range(first, last + 1))

@@ -1,0 +1,143 @@
+"""Closed-form models: Theorems 3.2/3.3, LSM write amplification, Figure 1."""
+
+import pytest
+
+from repro.core import theory
+from repro.util.units import GB, KB, MB
+
+
+# ------------------------------------------------------- Theorems 3.2 / 3.3
+def test_theorem_32_optimal_parameters():
+    """S = 0.5M, N = 0.375M + 1, K2 = 4 (Theorem 3.2, alpha = 1)."""
+    params = theory.optimal_parameters(256, alpha=1.0)
+    assert params.S == 128
+    assert params.N == pytest.approx(0.375 * 256 + 1)
+    assert params.K2 == 4
+
+
+def test_theorem_33_alpha_2_is_single_write():
+    assert theory.masm_writes_per_update(2.0) == pytest.approx(1.0)
+
+
+def test_theorem_32_writes_with_correction():
+    assert theory.masm_writes_per_update(1.0, M=256) == pytest.approx(1.75 + 2 / 256)
+
+
+def test_writes_monotone_in_alpha():
+    """More memory (larger alpha) must never cost more SSD writes."""
+    values = [theory.masm_writes_per_update(a) for a in [0.5, 0.75, 1.0, 1.5, 2.0]]
+    assert values == sorted(values, reverse=True)
+    assert all(1.0 <= v <= 2.0 for v in values)
+
+
+def test_alpha_lower_bound():
+    # Section 3.4: alpha >= 2 / cbrt(M); memory floor is 2 * M^(2/3) pages.
+    M = 512
+    bound = theory.alpha_lower_bound(M)
+    assert bound == pytest.approx(2.0 / M ** (1 / 3))
+    assert theory.masm_writes_per_update(bound) < 2.0
+
+
+def test_optimal_parameters_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        theory.optimal_parameters(256, alpha=2.5)
+
+
+def test_memory_pages_for_cache():
+    # 4GB / 64KB = 65536 pages; sqrt = 256; alpha=1 -> 256 pages (16MB).
+    assert theory.memory_pages_for_cache(65536, 1.0) == 256
+    assert theory.memory_pages_for_cache(65536, 2.0) == 512
+
+
+# -------------------------------------------------------- Section 2.3: LSM
+def test_lsm_two_level_writes_match_paper():
+    """4GB flash / 16MB memory, h=1: every entry written ~128 times."""
+    ratio = (4 * GB) / (16 * MB)  # 256
+    writes = theory.lsm_writes_per_update(ratio, levels=1)
+    assert writes == pytest.approx(128.5)
+
+
+def test_lsm_optimal_is_4_levels_17_writes():
+    """The optimal LSM has h=4 and ~17 writes per entry (Section 2.3)."""
+    ratio = 256.0
+    best = theory.lsm_optimal_levels(ratio)
+    assert best == 4
+    writes = theory.lsm_writes_per_update(ratio, best)
+    assert 16.5 < writes < 18.0
+
+
+def test_lsm_rejects_degenerate_inputs():
+    with pytest.raises(ValueError):
+        theory.lsm_writes_per_update(256, levels=0)
+    with pytest.raises(ValueError):
+        theory.lsm_writes_per_update(0.5, levels=2)
+
+
+def test_lsm_far_exceeds_masm_writes():
+    """The Section 2.3 argument: LSM reduces SSD lifetime ~17x vs MaSM-2M."""
+    lsm = theory.lsm_writes_per_update(256, theory.lsm_optimal_levels(256))
+    masm = theory.masm_writes_per_update(2.0)
+    assert lsm / masm > 15
+
+
+# ----------------------------------------------------------- Figure 1 model
+def test_figure1_prior_art_halving():
+    """Prior art: halving overhead requires doubling memory."""
+    a = theory.inmemory_migration_overhead(1 * GB)
+    b = theory.inmemory_migration_overhead(2 * GB)
+    assert a / b == pytest.approx(2.0)
+
+
+def test_figure1_masm_quartering():
+    """MaSM: doubling memory cuts migration overhead 4x (Section 3.7)."""
+    a = theory.masm_migration_overhead(32 * MB)
+    b = theory.masm_migration_overhead(64 * MB)
+    assert a / b == pytest.approx(4.0)
+
+
+def test_figure1_paper_equivalence_point():
+    """MaSM-M with 32MB == prior art with 16GB (both normalize to 1.0)."""
+    assert theory.masm_migration_overhead(32 * MB, alpha=1.0, ssd_page=64 * KB) == (
+        pytest.approx(1.0)
+    )
+    assert theory.inmemory_migration_overhead(16 * GB) == pytest.approx(1.0)
+
+
+def test_equivalent_masm_memory():
+    mem = theory.equivalent_masm_memory(16 * GB, alpha=1.0, ssd_page=64 * KB)
+    assert mem == pytest.approx(32 * MB)
+
+
+def test_overhead_rejects_nonpositive_memory():
+    with pytest.raises(ValueError):
+        theory.inmemory_migration_overhead(0)
+    with pytest.raises(ValueError):
+        theory.masm_migration_overhead(-1)
+
+
+# --------------------------------------------------------- SSD lifetime 3.7
+def test_lifetime_masm_2m_three_years():
+    """32GB X25-E: 33.8MB/s of update writes for ~3 years (Section 3.7)."""
+    years = theory.ssd_lifetime_years(32 * GB, 100_000, 33.8 * MB, 1.0)
+    assert 2.7 < years < 3.3
+
+
+def test_lifetime_masm_m_19mbps():
+    """MaSM-M (1.75 writes/update) sustains ~19.3MB/s for 3 years."""
+    rate = theory.sustainable_update_rate(32 * GB, 100_000, 3.0, 1.75)
+    assert 18 * MB < rate < 21 * MB
+
+
+def test_lifetime_doubles_with_capacity():
+    one = theory.ssd_lifetime_years(32 * GB, 100_000, 30 * MB)
+    two = theory.ssd_lifetime_years(64 * GB, 100_000, 30 * MB)
+    assert two == pytest.approx(2 * one)
+
+
+def test_lifetime_zero_rate_is_infinite():
+    assert theory.ssd_lifetime_years(32 * GB, 100_000, 0) == float("inf")
+
+
+def test_sustainable_rate_rejects_bad_years():
+    with pytest.raises(ValueError):
+        theory.sustainable_update_rate(32 * GB, 100_000, 0)

@@ -1,0 +1,124 @@
+"""TPC-H-style workload: cardinalities, update grouping, query replay."""
+
+import itertools
+
+import pytest
+
+from repro.core.update import UpdateType
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.workloads.tpch import (
+    LINEITEMS_PER_ORDER,
+    QUERY_IDS,
+    QUERY_SCANS,
+    ROWS_PER_SF,
+    generate_tpch,
+    replay_query,
+    tpch_update_stream,
+)
+from repro.util.units import GB, MB
+
+
+def make_instance(scale=0.2):
+    volume = StorageVolume(SimulatedDisk(capacity=2 * GB))
+    return generate_tpch(volume, scale=scale, seed=1)
+
+
+def test_catalog_covers_20_queries_like_the_paper():
+    assert len(QUERY_IDS) == 20
+    assert 17 not in QUERY_SCANS and 20 not in QUERY_SCANS  # never finished
+
+
+def test_cardinality_ratios():
+    inst = make_instance(scale=0.5)
+    orders = inst.tables["orders"].row_count
+    lineitem = inst.tables["lineitem"].row_count
+    assert lineitem == orders * LINEITEMS_PER_ORDER
+    assert inst.tables["nation"].row_count == 25
+    assert inst.tables["region"].row_count == 5
+    assert orders > inst.tables["customer"].row_count
+
+
+def test_orders_and_lineitem_dominate_size():
+    """Section 4.3: orders + lineitem occupy over 80% of the data."""
+    inst = make_instance(scale=0.5)
+    big = inst.tables["orders"].data_bytes + inst.tables["lineitem"].data_bytes
+    assert big / inst.total_bytes > 0.7
+
+
+def test_tables_scannable():
+    inst = make_instance(scale=0.1)
+    for name, table in inst.tables.items():
+        records = list(table.range_scan(*table.full_key_range()))
+        assert len(records) == table.row_count, name
+
+
+def test_update_stream_groups_orders_with_lineitems():
+    inst = make_instance(scale=0.1)
+    stream = tpch_update_stream(inst, seed=3)
+    events = list(itertools.islice(stream, 400))
+    i = 0
+    while i < len(events):
+        table, update = events[i]
+        if table == "orders" and update.type in (UpdateType.INSERT, UpdateType.DELETE):
+            group = events[i + 1 : i + 1 + LINEITEMS_PER_ORDER]
+            assert len(group) == LINEITEMS_PER_ORDER
+            for li_table, li_update in group:
+                assert li_table == "lineitem"
+                assert li_update.type == update.type
+                assert li_update.key // 8 == update.key
+            i += 1 + LINEITEMS_PER_ORDER
+        else:
+            i += 1
+
+
+def test_update_stream_is_well_formed():
+    inst = make_instance(scale=0.1)
+    live = {"orders": set(), "lineitem": set()}
+    for name, table in [("orders", inst.tables["orders"]), ("lineitem", inst.tables["lineitem"])]:
+        for record in table.range_scan(*table.full_key_range()):
+            live[name].add(table.schema.key(record))
+    for table_name, update in itertools.islice(tpch_update_stream(inst, seed=5), 500):
+        if table_name not in live:
+            continue
+        keys = live[table_name]
+        if update.type == UpdateType.INSERT:
+            assert update.key not in keys
+            keys.add(update.key)
+        elif update.type == UpdateType.DELETE:
+            assert update.key in keys
+            keys.discard(update.key)
+        else:
+            assert update.key in keys
+
+
+def test_replay_query_counts_records():
+    inst = make_instance(scale=0.1)
+    scanned = replay_query(inst, 1)  # q1: full lineitem scan
+    assert scanned == inst.tables["lineitem"].row_count
+
+
+def test_replay_query_fractional_scan():
+    inst = make_instance(scale=0.2)
+    scanned = replay_query(inst, 14)  # 15% of lineitem + part
+    lineitem = inst.tables["lineitem"].row_count
+    part = inst.tables["part"].row_count
+    assert scanned < 0.5 * lineitem + part
+
+
+def test_replay_unknown_query_rejected():
+    inst = make_instance(scale=0.1)
+    with pytest.raises(KeyError):
+        replay_query(inst, 99)
+
+
+def test_replay_through_custom_scan_fn():
+    inst = make_instance(scale=0.1)
+    calls = []
+
+    def scan_fn(table_name, begin, end):
+        calls.append(table_name)
+        return inst.tables[table_name].range_scan(begin, end)
+
+    replay_query(inst, 3, scan_fn=scan_fn)
+    assert calls == ["customer", "orders", "lineitem"]

@@ -1,0 +1,123 @@
+"""2PL transactions over MaSM: locking, visibility at lock release."""
+
+import threading
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import TransactionError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.transactions import TransactionManager
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def make_manager(n=500, lock_timeout=0.2):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    masm = MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(alpha=1.0, ssd_page_size=16 * KB, block_size=4 * KB),
+    )
+    return TransactionManager(masm, lock_timeout=lock_timeout)
+
+
+def test_commit_publishes_with_timestamp():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.modify(40, {"payload": "locked"})
+    ts = txn.commit()
+    assert ts is not None
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "locked")
+
+
+def test_uncommitted_writes_invisible():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.modify(40, {"payload": "private"})
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "rec-20")
+    txn.abort()
+
+
+def test_own_reads_see_own_writes():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.modify(40, {"payload": "mine"})
+    assert txn.get(40) == (40, "mine")
+    got = {SCHEMA.key(r): r for r in txn.range_scan(38, 42)}
+    assert got[40] == (40, "mine")
+    txn.commit()
+
+
+def test_conflicting_writer_blocks_until_commit():
+    mgr = make_manager(lock_timeout=2.0)
+    t1 = mgr.begin()
+    t1.modify(40, {"payload": "first"})
+    result = []
+
+    def second():
+        t2 = mgr.begin()
+        t2.modify(40, {"payload": "second"})
+        t2.commit()
+        result.append("committed")
+
+    worker = threading.Thread(target=second)
+    worker.start()
+    t1.commit()  # releases the lock; t2 proceeds
+    worker.join(timeout=3)
+    assert result == ["committed"]
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    # Lock order serialized t1 before t2.
+    assert fresh[40] == (40, "second")
+
+
+def test_writer_times_out_when_blocked():
+    mgr = make_manager(lock_timeout=0.05)
+    t1 = mgr.begin()
+    t1.modify(40, {"payload": "held"})
+    t2 = mgr.begin()
+    with pytest.raises(TransactionError):
+        t2.modify(40, {"payload": "blocked"})
+    t1.abort()
+    t2.abort()
+
+
+def test_abort_releases_locks_and_discards():
+    mgr = make_manager()
+    t1 = mgr.begin()
+    t1.modify(40, {"payload": "gone"})
+    t1.abort()
+    t2 = mgr.begin()
+    t2.modify(40, {"payload": "kept"})  # no blocking: locks were released
+    t2.commit()
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(40, 40)}
+    assert fresh[40] == (40, "kept")
+
+
+def test_finished_transaction_rejects_use():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.commit()
+    with pytest.raises(TransactionError):
+        txn.get(40)
+
+
+def test_insert_delete_in_transaction():
+    mgr = make_manager()
+    txn = mgr.begin()
+    txn.insert((41, "new"))
+    txn.delete(42)
+    txn.commit()
+    fresh = {SCHEMA.key(r): r for r in mgr.masm.range_scan(38, 46)}
+    assert fresh[41] == (41, "new")
+    assert 42 not in fresh

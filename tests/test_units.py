@@ -1,0 +1,57 @@
+"""Unit helpers: byte formatting/parsing and ceiling division."""
+
+import pytest
+
+from repro.util.units import GB, KB, MB, ceil_div, fmt_bytes, fmt_time, parse_bytes
+
+
+def test_constants_are_powers_of_1024():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_fmt_bytes_round_values():
+    assert fmt_bytes(4 * MB) == "4MB"
+    assert fmt_bytes(100 * GB) == "100GB"
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(0) == "0B"
+
+
+def test_fmt_bytes_fractional():
+    assert fmt_bytes(1536) == "1.5KB"
+
+
+def test_parse_bytes_roundtrip():
+    for n in [1, 512, 4 * KB, 64 * KB, 3 * MB, 7 * GB]:
+        assert parse_bytes(fmt_bytes(n)) == n
+
+
+def test_parse_bytes_forms():
+    assert parse_bytes("64KB") == 64 * KB
+    assert parse_bytes("4 GB") == 4 * GB
+    assert parse_bytes("1.5KB") == 1536
+    assert parse_bytes("123") == 123
+
+
+def test_parse_bytes_malformed():
+    with pytest.raises(ValueError):
+        parse_bytes("twelve parsecs")
+
+
+def test_fmt_time_units():
+    assert fmt_time(2.0) == "2s"
+    assert fmt_time(0.0025) == "2.5ms"
+    assert fmt_time(0.000004) == "4us"
+
+
+def test_ceil_div():
+    assert ceil_div(0, 4) == 0
+    assert ceil_div(1, 4) == 1
+    assert ceil_div(4, 4) == 1
+    assert ceil_div(5, 4) == 2
+
+
+def test_ceil_div_rejects_bad_divisor():
+    with pytest.raises(ValueError):
+        ceil_div(10, 0)

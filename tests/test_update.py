@@ -1,0 +1,196 @@
+"""UpdateRecord combination rules and the binary codec."""
+
+import pytest
+
+from repro.core.update import (
+    UpdateCodec,
+    UpdateConflictError,
+    UpdateRecord,
+    UpdateType,
+    apply_update,
+    combine,
+    combine_chain,
+)
+from repro.engine.record import synthetic_schema
+
+SCHEMA = synthetic_schema()
+
+
+def ins(ts, key, payload="p"):
+    return UpdateRecord(ts, key, UpdateType.INSERT, (key, payload))
+
+
+def dele(ts, key):
+    return UpdateRecord(ts, key, UpdateType.DELETE, None)
+
+
+def mod(ts, key, **changes):
+    return UpdateRecord(ts, key, UpdateType.MODIFY, changes)
+
+
+# ----------------------------------------------------------------- combine
+def test_modify_then_modify_merges_fieldwise():
+    c = combine(mod(1, 5, payload="a"), mod(2, 5, payload="b"))
+    assert c.type == UpdateType.MODIFY
+    assert c.content == {"payload": "b"}
+    assert c.timestamp == 2
+
+
+def test_delete_then_insert_becomes_replace():
+    c = combine(dele(1, 5), ins(2, 5, "new"))
+    assert c.type == UpdateType.REPLACE
+    assert c.content == (5, "new")
+
+
+def test_later_delete_wins():
+    for earlier in [ins(1, 5), mod(1, 5, payload="x"), dele(1, 5)]:
+        c = combine(earlier, dele(2, 5))
+        assert c.type == UpdateType.DELETE
+        assert c.timestamp == 2
+
+
+def test_modify_after_insert_patches_record():
+    c = combine(ins(1, 5, "old"), mod(2, 5, payload="new"), SCHEMA)
+    assert c.type == UpdateType.INSERT
+    assert c.content == (5, "new")
+
+
+def test_modify_after_insert_requires_schema():
+    with pytest.raises(UpdateConflictError):
+        combine(ins(1, 5), mod(2, 5, payload="x"))
+
+
+def test_duplicate_insert_rejected():
+    with pytest.raises(UpdateConflictError):
+        combine(ins(1, 5), ins(2, 5))
+
+
+def test_modify_after_delete_rejected():
+    with pytest.raises(UpdateConflictError):
+        combine(dele(1, 5), mod(2, 5, payload="x"))
+
+
+def test_combine_different_keys_rejected():
+    with pytest.raises(UpdateConflictError):
+        combine(ins(1, 5), dele(2, 6))
+
+
+def test_combine_out_of_order_rejected():
+    with pytest.raises(UpdateConflictError):
+        combine(dele(5, 1), ins(2, 1))
+
+
+def test_replace_supersedes_modify():
+    rep = UpdateRecord(2, 5, UpdateType.REPLACE, (5, "new"))
+    c = combine(mod(1, 5, payload="old"), rep)
+    assert c.type == UpdateType.REPLACE
+    assert c.content == (5, "new")
+
+
+def test_replace_supersedes_insert():
+    rep = UpdateRecord(2, 5, UpdateType.REPLACE, (5, "newer"))
+    c = combine(ins(1, 5, "new"), rep)
+    assert c.type == UpdateType.REPLACE
+    assert c.content == (5, "newer")
+
+
+def test_modify_after_replace_patches():
+    rep = UpdateRecord(1, 5, UpdateType.REPLACE, (5, "base"))
+    c = combine(rep, mod(2, 5, payload="patched"), SCHEMA)
+    assert c.type == UpdateType.REPLACE
+    assert c.content == (5, "patched")
+
+
+def test_equal_timestamps_combine():
+    # Same-transaction updates may share a commit timestamp.
+    c = combine(mod(3, 5, payload="a"), mod(3, 5, payload="b"))
+    assert c.content == {"payload": "b"}
+
+
+def test_combine_chain():
+    chain = [dele(1, 5), ins(2, 5, "a"), mod(3, 5, payload="b"), mod(4, 5, payload="c")]
+    c = combine_chain(chain, SCHEMA)
+    assert c.type == UpdateType.REPLACE
+    assert c.content == (5, "c")
+    assert c.timestamp == 4
+
+
+def test_combine_chain_empty_rejected():
+    with pytest.raises(UpdateConflictError):
+        combine_chain([], SCHEMA)
+
+
+# ------------------------------------------------------------ apply_update
+def test_apply_insert_to_absent():
+    assert apply_update(None, ins(1, 5, "x"), SCHEMA) == (5, "x")
+
+
+def test_apply_delete_removes():
+    assert apply_update((5, "x"), dele(1, 5), SCHEMA) is None
+
+
+def test_apply_modify_patches():
+    assert apply_update((5, "x"), mod(1, 5, payload="y"), SCHEMA) == (5, "y")
+
+
+def test_apply_modify_to_absent_is_noop():
+    assert apply_update(None, mod(1, 5, payload="y"), SCHEMA) is None
+
+
+def test_apply_replace_overwrites():
+    rep = UpdateRecord(2, 5, UpdateType.REPLACE, (5, "z"))
+    assert apply_update((5, "x"), rep, SCHEMA) == (5, "z")
+
+
+# ------------------------------------------------------------------- codec
+@pytest.mark.parametrize(
+    "update",
+    [
+        ins(7, 42, "hello"),
+        dele(8, 43),
+        mod(9, 44, payload="patched"),
+        UpdateRecord(10, 45, UpdateType.REPLACE, (45, "rep")),
+    ],
+)
+def test_codec_roundtrip(update):
+    codec = UpdateCodec(SCHEMA)
+    data = codec.encode(update)
+    decoded, consumed = codec.decode(data)
+    assert consumed == len(data)
+    assert decoded == update
+
+
+def test_codec_roundtrip_multiple_concatenated():
+    codec = UpdateCodec(SCHEMA)
+    updates = [ins(1, 2), dele(2, 3), mod(3, 4, payload="x")]
+    blob = b"".join(codec.encode(u) for u in updates)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        u, offset = codec.decode(blob, offset)
+        decoded.append(u)
+    assert decoded == updates
+
+
+def test_codec_encoded_size_matches():
+    codec = UpdateCodec(SCHEMA)
+    for u in [ins(1, 2), dele(2, 3), mod(3, 4, payload="xyz")]:
+        assert codec.encoded_size(u) == len(codec.encode(u))
+
+
+def test_codec_delete_is_smallest():
+    codec = UpdateCodec(SCHEMA)
+    assert codec.encoded_size(dele(1, 2)) < codec.encoded_size(ins(1, 2))
+
+
+def test_codec_multifield_modify():
+    schema = synthetic_schema()
+    codec = UpdateCodec(schema)
+    u = UpdateRecord(5, 6, UpdateType.MODIFY, {"payload": "abc"})
+    decoded, _ = codec.decode(codec.encode(u))
+    assert decoded.content == {"payload": "abc"}
+
+
+def test_sort_key_orders_by_key_then_ts():
+    a, b, c = ins(2, 1), dele(1, 2), mod(3, 1, payload="x")
+    assert sorted([c, b, a], key=UpdateRecord.sort_key) == [a, c, b]

@@ -1,0 +1,106 @@
+"""Lazy materialized views over MaSM."""
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.views import LazyMaterializedView, ViewCatalog
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+import pytest
+
+SCHEMA = synthetic_schema()
+
+
+def make_masm(n=300):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    return MaSM(
+        table,
+        ssd_vol,
+        config=MaSMConfig(alpha=1.2, ssd_page_size=8 * KB, block_size=4 * KB),
+    )
+
+
+def test_view_materializes_filtered_projection():
+    masm = make_masm()
+    view = LazyMaterializedView(
+        masm, "low-keys", predicate=lambda r: r[0] < 100, projection=["key"]
+    )
+    rows = list(view.read())
+    assert rows == [(i * 2,) for i in range(50)]
+    assert view.refreshes == 1
+
+
+def test_lazy_refresh_only_when_stale():
+    masm = make_masm()
+    view = LazyMaterializedView(masm, "all")
+    list(view.read())
+    assert view.refreshes == 1
+    list(view.read())  # nothing changed: no second refresh
+    assert view.refreshes == 1
+    masm.modify(40, {"payload": "fresh"})
+    assert view.is_stale
+    got = {r[0]: r for r in view.read()}
+    assert got[40] == (40, "fresh")
+    assert view.refreshes == 2
+
+
+def test_read_stale_does_not_refresh():
+    masm = make_masm()
+    view = LazyMaterializedView(masm, "all")
+    list(view.read())
+    masm.delete(40)
+    stale = {r[0] for r in view.read_stale()}
+    assert 40 in stale  # bounded staleness, by request
+    assert view.refreshes == 1
+
+
+def test_maintain_is_idle_time_refresh():
+    masm = make_masm()
+    view = LazyMaterializedView(masm, "all")
+    assert view.maintain()  # first build
+    assert not view.maintain()  # already fresh
+    masm.insert((1001, "new"))
+    assert view.maintain()
+    assert (1001, "new") in list(view.read_stale())
+
+
+def test_view_key_range_restricts():
+    masm = make_masm()
+    view = LazyMaterializedView(masm, "slice", key_range=(100, 200))
+    rows = list(view.read())
+    assert all(100 <= r[0] <= 200 for r in rows)
+
+
+def test_catalog_defines_and_maintains():
+    masm = make_masm()
+    catalog = ViewCatalog(masm)
+    catalog.define("evens", predicate=lambda r: r[0] % 4 == 0)
+    catalog.define("names", projection=["payload"])
+    assert len(list(catalog)) == 2
+    assert catalog.maintain_all() == 2
+    masm.modify(40, {"payload": "x"})
+    assert set(catalog.stale_views()) == {"evens", "names"}
+    assert catalog.maintain_all() == 2
+    assert catalog.maintain_all() == 0
+
+
+def test_catalog_rejects_duplicate_names():
+    masm = make_masm()
+    catalog = ViewCatalog(masm)
+    catalog.define("v")
+    with pytest.raises(ValueError):
+        catalog.define("v")
+
+
+def test_view_len():
+    masm = make_masm(100)
+    view = LazyMaterializedView(masm, "all")
+    assert len(view) == 0
+    view.refresh()
+    assert len(view) == 100
