@@ -1,0 +1,200 @@
+"""Microbenchmark: the scan/merge read hot path, legacy vs batch, cold vs warm.
+
+Measures records/second through ``RunScan -> MergeUpdates`` (the merge path)
+and through the full ``RunScan -> MergeUpdates -> MergeDataUpdates`` pipeline,
+three ways:
+
+* ``legacy``    — the record-at-a-time reference path (``scan_records`` +
+  ``heapq.merge`` keyed on ``UpdateRecord.sort_key``): exactly the
+  pre-batch implementation, kept as the equivalence oracle;
+* ``batch-cold`` — the block-granular fast path with an empty decoded-block
+  cache (every block read from the SSD and decoded once);
+* ``batch-warm`` — the fast path with the cache already holding every
+  decoded block (repeated/concurrent-scan regime).
+
+Writes ``benchmarks/results/BENCH_scan_merge.json`` so the performance
+trajectory is tracked across PRs.  The acceptance bar: batch-warm must merge
+at >= 2x the legacy (pre-change baseline) rate.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_scan_merge_hotpath.py
+Smoke (CI):      ... bench_scan_merge_hotpath.py --smoke
+Under pytest:    pytest benchmarks/bench_scan_merge_hotpath.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench.harness import FigureResult
+from repro.core.blockcache import DecodedBlockCache
+from repro.core.operators import MergeDataUpdates, MergeUpdates, RunScan
+from repro.core.sortedrun import write_run
+from repro.core.update import UpdateCodec, UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import GB, MB
+from repro.workloads.synthetic import build_synthetic_table
+from repro.storage.disk import SimulatedDisk
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = "BENCH_scan_merge.json"
+
+#: Measured pre-change baseline (commit 1359298, the record-at-a-time read
+#: pipeline) on the default workload, for trajectory context.  The ``legacy``
+#: series re-measures the same implementation live on every run.
+PRE_CHANGE_BASELINE = {
+    "merge_path_cold_rps": 160_049,
+    "merge_path_warm_rps": 186_351,
+}
+
+FULL_KEY_RANGE = (0, 2**60)
+
+
+def build_workload(num_runs: int, per_run: int, table_rows: int):
+    """Key-interleaved sorted runs on a simulated SSD plus a base table."""
+    schema = synthetic_schema()
+    codec = UpdateCodec(schema)
+    ssd = StorageVolume(SimulatedSSD(capacity=256 * MB))
+    runs = []
+    for r in range(num_runs):
+        updates = [
+            UpdateRecord(
+                r * per_run + i + 1,
+                (i * num_runs + r) * 2,
+                UpdateType.INSERT,
+                ((i * num_runs + r) * 2, f"payload-{r}-{i}"),
+            )
+            for i in range(per_run)
+        ]
+        runs.append(write_run(ssd, f"hotpath-run-{r}", updates, codec))
+    disk = StorageVolume(SimulatedDisk(capacity=1 * GB))
+    table = build_synthetic_table(disk, num_records=table_rows)
+    return schema, runs, table
+
+
+def _timed(stream) -> tuple[int, float]:
+    start = time.perf_counter()
+    produced = sum(1 for _ in stream)
+    return produced, time.perf_counter() - start
+
+
+def measure_merge_path(schema, runs, cache, legacy: bool) -> tuple[int, float]:
+    """Records/sec through RunScan -> MergeUpdates over the whole key space."""
+    if legacy:
+        sources = [run.scan_records(*FULL_KEY_RANGE) for run in runs]
+        stream = MergeUpdates(sources, schema, fast_path=False)
+    else:
+        sources = [RunScan(run, *FULL_KEY_RANGE, cache=cache) for run in runs]
+        stream = MergeUpdates(sources, schema)
+    merged, elapsed = _timed(stream)
+    consumed = sum(run.count for run in runs)
+    return merged, consumed / elapsed
+
+
+def measure_full_pipeline(schema, runs, table, cache, legacy: bool) -> tuple[int, float]:
+    """Records/sec through RunScan -> MergeUpdates -> MergeDataUpdates."""
+    if legacy:
+        sources = [run.scan_records(*FULL_KEY_RANGE) for run in runs]
+        updates = MergeUpdates(sources, schema, fast_path=False)
+    else:
+        sources = [RunScan(run, *FULL_KEY_RANGE, cache=cache) for run in runs]
+        updates = MergeUpdates(sources, schema)
+    data = table.range_scan_pairs(*FULL_KEY_RANGE)
+    rows, elapsed = _timed(MergeDataUpdates(data, updates, schema))
+    return rows, rows / elapsed
+
+
+def run_hotpath_bench(
+    num_runs: int = 4, per_run: int = 30_000, table_rows: int = 20_000
+) -> FigureResult:
+    schema, runs, table = build_workload(num_runs, per_run, table_rows)
+    result = FigureResult(
+        figure="BENCH scan/merge",
+        title="read hot path records/sec (legacy vs batch, cold vs warm cache)",
+        row_label="path",
+        columns=["merge_rps", "pipeline_rps"],
+    )
+    # Legacy reference: the pre-change record-at-a-time implementation.
+    _, legacy_merge = measure_merge_path(schema, runs, None, legacy=True)
+    _, legacy_pipe = measure_full_pipeline(schema, runs, table, None, legacy=True)
+    result.add_row("legacy", merge_rps=legacy_merge, pipeline_rps=legacy_pipe)
+
+    # Batch path, cold: cache sized to hold the whole working set so the
+    # very next pass is fully warm.
+    total_blocks = sum(run.num_blocks for run in runs)
+    cache = DecodedBlockCache(total_blocks)
+    _, cold_merge = measure_merge_path(schema, runs, cache, legacy=False)
+    result.add_row("batch-cold", merge_rps=cold_merge)
+
+    # Batch path, warm: every decoded block served from the shared cache.
+    _, warm_merge = measure_merge_path(schema, runs, cache, legacy=False)
+    _, warm_pipe = measure_full_pipeline(schema, runs, table, cache, legacy=False)
+    result.add_row("batch-warm", merge_rps=warm_merge, pipeline_rps=warm_pipe)
+
+    result.note(
+        f"workload: {num_runs} runs x {per_run} updates, "
+        f"{table_rows}-row table, 64 KB blocks"
+    )
+    result.note(
+        f"warm merge speedup vs legacy: {warm_merge / legacy_merge:.1f}x "
+        f"(cold: {cold_merge / legacy_merge:.1f}x); "
+        f"cache hit rate {cache.hit_rate:.2f}"
+    )
+    return result
+
+
+def write_results(result: FigureResult) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / RESULT_FILE
+    path.write_text(
+        result.to_json(
+            pre_change_baseline=PRE_CHANGE_BASELINE,
+            unit="records/sec",
+        )
+    )
+    return path
+
+
+def test_scan_merge_hotpath(benchmark=None):
+    """Pytest entry: the warm-cache merge path must beat legacy by >= 2x."""
+    if benchmark is not None:
+        result = benchmark.pedantic(run_hotpath_bench, rounds=1, iterations=1)
+    else:
+        result = run_hotpath_bench()
+    print()
+    print(result.format(precision=0))
+    write_results(result)
+    legacy = result.cell("legacy", "merge_rps")
+    warm = result.cell("batch-warm", "merge_rps")
+    assert warm >= 2.0 * legacy, (
+        f"warm-cache merge path only {warm / legacy:.2f}x the legacy rate"
+    )
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    if smoke:
+        result = run_hotpath_bench(num_runs=3, per_run=4_000, table_rows=2_000)
+    else:
+        result = run_hotpath_bench()
+    print(result.format(precision=0))
+    path = write_results(result)
+    print(f"\nwrote {path}")
+    payload = json.loads(path.read_text())
+    legacy = [r for r in payload["rows"] if r["label"] == "legacy"][0]
+    warm = [r for r in payload["rows"] if r["label"] == "batch-warm"][0]
+    speedup = warm["values"]["merge_rps"] / legacy["values"]["merge_rps"]
+    floor = 1.5 if smoke else 2.0
+    if speedup < floor:
+        print(f"FAIL: warm merge speedup {speedup:.2f}x < {floor}x")
+        return 1
+    print(f"OK: warm merge speedup {speedup:.2f}x (floor {floor}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

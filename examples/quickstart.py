@@ -56,6 +56,16 @@ def main() -> None:
     print("  modified   :", rows[2000])
     print("  deleted    :", "gone" if 2002 not in rows else rows[2002])
 
+    # --- the decoded-block cache serves repeated scans -----------------------
+    masm.flush_buffer()  # materialize the buffer so the scan reads SSD blocks
+    for _ in range(2):
+        list(masm.range_scan(100, 2004))
+    s = masm.stats
+    print(f"\ndecoded-block cache: {s.block_cache_hits} hits, "
+          f"{s.block_cache_misses} misses, {s.block_cache_evictions} evictions "
+          f"(hit rate {s.block_cache_hit_rate:.0%}, "
+          f"{s.blocks_decoded} blocks decoded)")
+
     # --- compare with a scan of the stale main data --------------------------
     stale = {r[0]: r for r in table.range_scan(100, 2004)}
     print(f"\nraw table still stale: 101 present={101 in stale}, "

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -90,6 +91,26 @@ class FigureResult:
                 [label, *(values.get(c, "") for c in self.columns)]
             )
         return out.getvalue()
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (for machine-tracked trajectories)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "row_label": self.row_label,
+            "columns": list(self.columns),
+            "rows": [
+                {"label": label, "values": dict(values)}
+                for label, values in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, **extra) -> str:
+        """Serialize :meth:`to_dict` (plus ``extra`` top-level keys)."""
+        payload = self.to_dict()
+        payload.update(extra)
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format()

@@ -17,9 +17,16 @@ from repro.core.secondary import SecondaryIndexManager
 from repro.core.sharding import ShardedWarehouse, hash_partitioner, range_partitioner
 from repro.core.sortorders import MultiOrderTable, projection_schema
 from repro.core.views import LazyMaterializedView, ViewCatalog
+from repro.core.blockcache import DecodedBlockCache
 from repro.core.membuffer import BufferFlushed, InMemoryUpdateBuffer
 from repro.core.migration import MigrationStats, migrate_all, migrate_range
-from repro.core.operators import MemScan, MergeDataUpdates, MergeUpdates, RunScan
+from repro.core.operators import (
+    MemScan,
+    MergeDataUpdates,
+    MergeUpdates,
+    RunScan,
+    merge_update_streams,
+)
 from repro.core.runindex import (
     COARSE_GRANULARITY,
     FINE_GRANULARITY,
@@ -40,6 +47,7 @@ __all__ = [
     "COARSE_GRANULARITY",
     "FINE_GRANULARITY",
     "BufferFlushed",
+    "DecodedBlockCache",
     "InMemoryUpdateBuffer",
     "LazyMaterializedView",
     "MaSM",
@@ -68,6 +76,7 @@ __all__ = [
     "combine",
     "combine_chain",
     "derive_parameters",
+    "merge_update_streams",
     "migrate_all",
     "migrate_range",
     "write_run",

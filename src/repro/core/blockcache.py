@@ -1,0 +1,108 @@
+"""Shared LRU cache of decoded run blocks.
+
+Materialized runs are immutable, so a block's decoded record list never goes
+stale: concurrent ``Run_scan``s over hot key ranges can share one decode.
+The cache is size-bounded (in blocks), keyed by ``(run_name, block_no)``,
+and stores the *unfiltered* decode of each block — query-specific filters
+(key range, ``query_ts`` visibility, migrated ranges, ``after`` positions)
+are applied per scan on top of the cached lists.
+
+Hit/miss/eviction counts accumulate both on the cache itself and, when a
+stats sink is attached (:class:`repro.core.masm.MaSMStats`), on the owning
+MaSM instance's counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.update import UpdateRecord
+
+#: Default capacity: 128 decoded blocks (8 MB of raw run data at the
+#: coarse 64 KB granularity, more as Python objects).
+DEFAULT_CACHE_BLOCKS = 128
+
+#: A cache entry: the block's decoded records plus their keys, both in
+#: (key, ts) order.  The parallel key list is what block-local binary
+#: searches run over.
+DecodedBlock = tuple[list[int], list[UpdateRecord]]
+
+
+class DecodedBlockCache:
+    """Size-bounded LRU of decoded run blocks, safe for concurrent scans."""
+
+    def __init__(self, capacity_blocks: int = DEFAULT_CACHE_BLOCKS, stats=None):
+        if capacity_blocks < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_blocks}")
+        self.capacity = capacity_blocks
+        self._entries: "OrderedDict[tuple[str, int], DecodedBlock]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = stats
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, run_name: str, block_no: int) -> Optional[DecodedBlock]:
+        """The decoded block, refreshed to most-recently-used; None on miss."""
+        key = (run_name, block_no)
+        stats = self._stats
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                if stats is not None:
+                    stats.block_cache_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if stats is not None:
+                stats.block_cache_hits += 1
+            return entry
+
+    def put(self, run_name: str, block_no: int, block: DecodedBlock) -> None:
+        """Insert a decoded block, evicting the least-recently-used ones."""
+        if self.capacity == 0:
+            return
+        key = (run_name, block_no)
+        stats = self._stats
+        with self._lock:
+            self._entries[key] = block
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if stats is not None:
+                    stats.block_cache_evictions += 1
+
+    def invalidate_run(self, run_name: str) -> int:
+        """Drop every cached block of one run (called when a run is deleted).
+
+        Returns the number of blocks dropped.  Dropping is bookkeeping, not
+        correctness: run names are never reused within a MaSM instance, so a
+        stale entry could only waste memory until evicted.
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == run_name]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecodedBlockCache({len(self._entries)}/{self.capacity} blocks, "
+            f"{self.hits} hits, {self.misses} misses, {self.evictions} evictions)"
+        )

@@ -21,8 +21,15 @@ import threading
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.core.blockcache import DEFAULT_CACHE_BLOCKS, DecodedBlockCache
 from repro.core.membuffer import InMemoryUpdateBuffer
-from repro.core.operators import MemScan, MergeDataUpdates, MergeUpdates, RunScan
+from repro.core.operators import (
+    MemScan,
+    MergeDataUpdates,
+    MergeUpdates,
+    RunScan,
+    merge_update_streams,
+)
 from repro.core.runindex import COARSE_GRANULARITY
 from repro.core.sortedrun import MaterializedSortedRun, write_run
 from repro.core.update import (
@@ -59,6 +66,10 @@ class MaSMConfig:
     migration_threshold: float = 0.9
     auto_migrate: bool = True
     merge_duplicates_on_flush: bool = False
+    #: Capacity (in blocks) of the shared decoded-block LRU that repeated
+    #: and concurrent scans hit instead of re-reading/re-decoding the SSD.
+    #: 0 disables the cache.
+    decoded_cache_blocks: int = DEFAULT_CACHE_BLOCKS
 
 
 @dataclass
@@ -117,6 +128,13 @@ class MaSMStats:
     migrations: int = 0
     page_steals: int = 0
     duplicates_merged: int = 0
+    # Decoded-block cache counters (the read-path fast path): hits avoid
+    # both the SSD read and the decode; blocks_decoded counts actual
+    # block decodes performed by scans.
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    block_cache_evictions: int = 0
+    blocks_decoded: int = 0
 
     @property
     def ssd_writes_per_update(self) -> float:
@@ -124,6 +142,12 @@ class MaSMStats:
         if self.updates_ingested == 0:
             return 0.0
         return self.updates_written_to_ssd / self.updates_ingested
+
+    @property
+    def block_cache_hit_rate(self) -> float:
+        """Fraction of block lookups served from the decoded-block cache."""
+        total = self.block_cache_hits + self.block_cache_misses
+        return self.block_cache_hits / total if total else 0.0
 
 
 class MaSM:
@@ -162,6 +186,11 @@ class MaSM:
         self.runs: list[MaterializedSortedRun] = []  # creation order
         self._runs_by_flush_epoch: dict[int, MaterializedSortedRun] = {}
         self.stats = MaSMStats()
+        self.block_cache: Optional[DecodedBlockCache] = (
+            DecodedBlockCache(self.config.decoded_cache_blocks, stats=self.stats)
+            if self.config.decoded_cache_blocks > 0
+            else None
+        )
         self._run_seq = 0
         self._active_scans: dict[int, int] = {}  # scan id -> query timestamp
         self._scan_seq = 0
@@ -390,7 +419,7 @@ class MaSM:
             )
             for victim in victims:
                 self.runs.remove(victim)
-                self.ssd.delete(victim.name)
+                self._delete_run(victim)
             self.stats.runs_merged += len(victims)
             return run
 
@@ -421,7 +450,15 @@ class MaSM:
         def stream() -> Iterator[tuple]:
             try:
                 update_sources: list = [
-                    RunScan(run, begin_key, end_key, query_ts) for run in runs
+                    RunScan(
+                        run,
+                        begin_key,
+                        end_key,
+                        query_ts,
+                        cache=self.block_cache,
+                        stats=self.stats,
+                    )
+                    for run in runs
                 ]
                 update_sources.append(
                     MemScan(
@@ -430,6 +467,8 @@ class MaSM:
                         end_key,
                         query_ts,
                         run_for_flush=self._run_for_flush,
+                        cache=self.block_cache,
+                        stats=self.stats,
                     )
                 )
                 updates = MergeUpdates(update_sources, self.table.schema, cpu=self.cpu)
@@ -447,6 +486,12 @@ class MaSM:
     def _run_for_flush(self, flush_epoch: int) -> Optional[MaterializedSortedRun]:
         with self._lock:
             return self._runs_by_flush_epoch.get(flush_epoch)
+
+    def _delete_run(self, run: MaterializedSortedRun) -> None:
+        """Delete a run's SSD file and drop its decoded blocks."""
+        self.ssd.delete(run.name)
+        if self.block_cache is not None:
+            self.block_cache.invalidate_run(run.name)
 
     # -------------------------------------------------------------- migration
     def attach_migrator(self, migrate_fn) -> None:
@@ -482,7 +527,7 @@ class MaSM:
                 if barrier_ts is not None and oldest is not None and oldest < barrier_ts:
                     self._graveyard.append((run, barrier_ts))
                 else:
-                    self.ssd.delete(run.name)
+                    self._delete_run(run)
             self._runs_by_flush_epoch = {
                 epoch: run
                 for epoch, run in self._runs_by_flush_epoch.items()
@@ -498,7 +543,7 @@ class MaSM:
                 if oldest is not None and oldest < barrier_ts:
                     survivors.append((run, barrier_ts))
                 else:
-                    self.ssd.delete(run.name)
+                    self._delete_run(run)
             self._graveyard = survivors
 
     # --------------------------------------------------------- constructors
@@ -522,14 +567,13 @@ class MergeUpdatesPreservingDuplicates:
 
     Unlike :class:`MergeUpdates`, same-key updates are *not* combined: the
     merged run must still serve queries with timestamps between the updates.
+    The input runs are deleted right after the merge, so their blocks are
+    scanned without going through the decoded-block cache.
     """
 
     def __init__(self, runs: list[MaterializedSortedRun]) -> None:
         self.runs = runs
 
     def __iter__(self) -> Iterator[UpdateRecord]:
-        import heapq
-
         full_range = (0, 2**63 - 1)
-        streams = [run.scan(*full_range) for run in self.runs]
-        return iter(heapq.merge(*streams, key=UpdateRecord.sort_key))
+        return merge_update_streams([run.scan(*full_range) for run in self.runs])

@@ -57,7 +57,9 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
     full = (0, 2**63 - 1)
     updates = iter(
         MergeUpdates(
-            [run.scan(*full, query_ts=t) for run in runs], schema, cpu=masm.cpu
+            [run.scan(*full, query_ts=t, stats=masm.stats) for run in runs],
+            schema,
+            cpu=masm.cpu,
         )
     )
     stats = MigrationStats(timestamp=t)
@@ -239,7 +241,7 @@ class CoordinatedMigration:
         full = (0, 2**63 - 1)
         updates = iter(
             MergeUpdates(
-                [run.scan(*full, query_ts=t) for run in runs],
+                [run.scan(*full, query_ts=t, stats=masm.stats) for run in runs],
                 schema,
                 cpu=masm.cpu,
             )
@@ -284,7 +286,16 @@ def migrate_range(
         )
     updates = iter(
         MergeUpdates(
-            [run.scan(begin_key, end_key, query_ts=t) for run in runs],
+            [
+                run.scan(
+                    begin_key,
+                    end_key,
+                    query_ts=t,
+                    cache=masm.block_cache,
+                    stats=masm.stats,
+                )
+                for run in runs
+            ],
             schema,
             cpu=masm.cpu,
         )

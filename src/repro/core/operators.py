@@ -1,7 +1,7 @@
 """MaSM's scan-side operators (Figure 6):
 
 * :class:`RunScan`    — streams one materialized sorted run, narrowed by its
-  run index;
+  run index (optionally through the shared decoded-block cache);
 * :class:`MemScan`    — streams the in-memory buffer and survives concurrent
   re-sorts and flushes by handing over to a Run_scan;
 * :class:`MergeUpdates` — merges many (key, ts)-ordered update streams and
@@ -9,6 +9,11 @@
 * :class:`MergeDataUpdates` — the outer join of the table range scan with the
   combined update stream, using page timestamps to skip already-applied
   updates (what makes in-place migration safe, Section 3.2).
+
+The merge core is batch-oriented: sources are compared on plain (key, ts)
+tuples (no per-record method calls), a dedicated two-source loop serves the
+common one-memory-stream-plus-one-run shape, and CPU time is charged to the
+meter per batch of merged records rather than per record.
 """
 
 from __future__ import annotations
@@ -16,15 +21,88 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.core.blockcache import DecodedBlockCache
 from repro.core.membuffer import BufferFlushed, InMemoryUpdateBuffer
 from repro.core.sortedrun import MaterializedSortedRun
-from repro.core.update import UpdateRecord, apply_update, combine_chain
+from repro.core.update import UpdateRecord, apply_update, combine, combine_chain
 from repro.engine.record import Schema
-from repro.storage.iosched import MERGE_CPU_PER_UPDATE, CpuMeter
+from repro.storage.iosched import (
+    MERGE_CPU_BATCH,
+    MERGE_CPU_PER_UPDATE,
+    CpuMeter,
+)
+
+
+def merge_update_streams(
+    sources: list[Iterable[UpdateRecord]],
+) -> Iterator[UpdateRecord]:
+    """Merge (key, ts)-sorted update streams into one (key, ts)-sorted stream.
+
+    Ties across sources break by source position (stable, like
+    ``heapq.merge``).  Dispatches on the number of non-empty sources: most
+    range scans see one memory stream plus one run, which the two-source
+    loop serves without any heap at all.
+    """
+    iterators = [iter(s) for s in sources]
+    primed: list[tuple[UpdateRecord, Iterator[UpdateRecord]]] = []
+    for it in iterators:
+        first = next(it, None)
+        if first is not None:
+            primed.append((first, it))
+    if not primed:
+        return
+    if len(primed) == 1:
+        head, it = primed[0]
+        yield head
+        yield from it
+        return
+    if len(primed) == 2:
+        a, a_it = primed[0]
+        b, b_it = primed[1]
+        a_key = (a.key, a.timestamp)
+        b_key = (b.key, b.timestamp)
+        while True:
+            if a_key <= b_key:
+                yield a
+                a = next(a_it, None)
+                if a is None:
+                    yield b
+                    yield from b_it
+                    return
+                a_key = (a.key, a.timestamp)
+            else:
+                yield b
+                b = next(b_it, None)
+                if b is None:
+                    yield a
+                    yield from a_it
+                    return
+                b_key = (b.key, b.timestamp)
+    # K-way: heap entries are (key, ts, source_idx, update); the index both
+    # breaks ties stably and keeps UpdateRecords out of the comparisons.
+    heap = [
+        (u.key, u.timestamp, idx, u) for idx, (u, _) in enumerate(primed)
+    ]
+    heapq.heapify(heap)
+    iters = [it for _, it in primed]
+    heappop = heapq.heappop
+    heapreplace = heapq.heapreplace
+    while heap:
+        _, _, idx, update = heap[0]
+        yield update
+        nxt = next(iters[idx], None)
+        if nxt is None:
+            heappop(heap)
+        else:
+            heapreplace(heap, (nxt.key, nxt.timestamp, idx, nxt))
 
 
 class RunScan:
-    """Iterates one materialized run for a query's key range and timestamp."""
+    """Iterates one materialized run for a query's key range and timestamp.
+
+    ``cache`` is the MaSM instance's shared :class:`DecodedBlockCache`;
+    ``stats`` receives blocks-decoded counts (both optional).
+    """
 
     def __init__(
         self,
@@ -32,14 +110,24 @@ class RunScan:
         begin_key: int,
         end_key: int,
         query_ts: Optional[int] = None,
+        cache: Optional[DecodedBlockCache] = None,
+        stats=None,
     ) -> None:
         self.run = run
         self.begin_key = begin_key
         self.end_key = end_key
         self.query_ts = query_ts
+        self.cache = cache
+        self.stats = stats
 
     def __iter__(self) -> Iterator[UpdateRecord]:
-        return self.run.scan(self.begin_key, self.end_key, self.query_ts)
+        return self.run.scan(
+            self.begin_key,
+            self.end_key,
+            self.query_ts,
+            cache=self.cache,
+            stats=self.stats,
+        )
 
 
 class MemScan:
@@ -58,12 +146,16 @@ class MemScan:
         end_key: int,
         query_ts: int,
         run_for_flush: Optional[Callable[[int], Optional[MaterializedSortedRun]]] = None,
+        cache: Optional[DecodedBlockCache] = None,
+        stats=None,
     ) -> None:
         self.buffer = buffer
         self.begin_key = begin_key
         self.end_key = end_key
         self.query_ts = query_ts
         self.run_for_flush = run_for_flush
+        self.cache = cache
+        self.stats = stats
 
     def __iter__(self) -> Iterator[UpdateRecord]:
         cursor = self.buffer.cursor(self.begin_key, self.end_key, self.query_ts)
@@ -83,6 +175,8 @@ class MemScan:
                     self.end_key,
                     self.query_ts,
                     after=cursor.last_position,
+                    cache=self.cache,
+                    stats=self.stats,
                 )
                 return
             yield update
@@ -92,7 +186,9 @@ class MergeUpdates:
     """K-way merge of sorted update streams, combining same-key chains.
 
     Yields one combined :class:`UpdateRecord` per distinct key, in key order
-    (the output the outer join consumes).
+    (the output the outer join consumes).  ``fast_path=False`` selects the
+    record-at-a-time reference implementation (``heapq.merge`` keyed on
+    ``UpdateRecord.sort_key``), kept for equivalence testing.
     """
 
     def __init__(
@@ -100,12 +196,43 @@ class MergeUpdates:
         sources: Iterable[Iterable[UpdateRecord]],
         schema: Schema,
         cpu: Optional[CpuMeter] = None,
+        fast_path: bool = True,
     ) -> None:
         self.sources = list(sources)
         self.schema = schema
         self.cpu = cpu
+        self.fast_path = fast_path
 
     def __iter__(self) -> Iterator[UpdateRecord]:
+        if not self.fast_path:
+            return self._iter_reference()
+        return self._iter_fast()
+
+    def _iter_fast(self) -> Iterator[UpdateRecord]:
+        schema = self.schema
+        cpu = self.cpu
+        merged = merge_update_streams(self.sources)
+        pending: Optional[UpdateRecord] = None
+        count = 0
+        charged = 0
+        for update in merged:
+            count += 1
+            if pending is None:
+                pending = update
+            elif update.key == pending.key:
+                pending = combine(pending, update, schema)
+            else:
+                yield pending
+                pending = update
+                if cpu is not None and count - charged >= MERGE_CPU_BATCH:
+                    cpu.charge_batch(count - charged, MERGE_CPU_PER_UPDATE)
+                    charged = count
+        if pending is not None:
+            yield pending
+        if cpu is not None and count > charged:
+            cpu.charge_batch(count - charged, MERGE_CPU_PER_UPDATE)
+
+    def _iter_reference(self) -> Iterator[UpdateRecord]:
         merged = heapq.merge(*self.sources, key=UpdateRecord.sort_key)
         chain: list[UpdateRecord] = []
         count = 0

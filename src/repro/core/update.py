@@ -142,6 +142,18 @@ def apply_update(
     return schema.apply_modification(record, dict(update.content))
 
 
+#: Framing for a block of update records: leading record count.
+BLOCK_HEADER = struct.Struct("<I")
+
+#: Decode-time lookup avoiding an ``UpdateType(...)`` enum call per record.
+_TYPE_BY_CODE = (
+    UpdateType.INSERT,
+    UpdateType.DELETE,
+    UpdateType.MODIFY,
+    UpdateType.REPLACE,
+)
+
+
 class UpdateCodec:
     """Fixed-schema binary codec for update records.
 
@@ -151,6 +163,11 @@ class UpdateCodec:
 
     Payload: packed record for INSERT/REPLACE; empty for DELETE; for MODIFY a
     sequence of (field_index u16, packed field value) pairs.
+
+    Besides the record-at-a-time :meth:`encode`/:meth:`decode` pair, the
+    codec offers a batch API (:meth:`encode_block`, :meth:`decode_block`,
+    :meth:`encode_many`) that processes a whole block in one pass with
+    pre-bound struct unpackers — the read/write hot path.
     """
 
     _HEAD = struct.Struct("<QQBI")
@@ -161,6 +178,15 @@ class UpdateCodec:
             None if f.is_string else struct.Struct("<" + f.struct_code())
             for f in schema.fields
         ]
+        # Pre-bound whole-record unpacker for INSERT/REPLACE payloads: one
+        # struct call per record instead of a Schema.unpack round trip, with
+        # string columns fixed up afterwards by index.
+        self._record_struct = struct.Struct(
+            "<" + "".join(f.struct_code() for f in schema.fields)
+        )
+        self._string_idxs = tuple(
+            i for i, f in enumerate(schema.fields) if f.is_string
+        )
 
     @property
     def header_size(self) -> int:
@@ -232,3 +258,71 @@ class UpdateCodec:
                 changes[self.schema.fields[idx].name] = value
             content = changes
         return UpdateRecord(timestamp, key, utype, content), body_start + payload_len
+
+    # ------------------------------------------------------------- batch API
+    def encode_many(self, updates: Sequence[UpdateRecord]) -> list[bytes]:
+        """Encode a batch of updates in one pass (pre-bound packers)."""
+        head_pack = self._HEAD.pack
+        payload = self._payload
+        out = []
+        append = out.append
+        for u in updates:
+            body = payload(u)
+            append(head_pack(u.timestamp, u.key, u.type, len(body)) + body)
+        return out
+
+    def frame_block(self, encoded_records: Sequence[bytes]) -> bytes:
+        """Frame already-encoded records as one block (count header + body)."""
+        return BLOCK_HEADER.pack(len(encoded_records)) + b"".join(encoded_records)
+
+    def encode_block(self, updates: Sequence[UpdateRecord]) -> bytes:
+        """Encode a whole block of updates: count header + packed records."""
+        return self.frame_block(self.encode_many(updates))
+
+    def decode_block(self, data: bytes, offset: int = 0) -> list[UpdateRecord]:
+        """Decode one block (as written by :meth:`encode_block`) in one pass.
+
+        Unlike :meth:`decode`, payloads are unpacked straight out of the
+        block buffer — no per-record byte slicing — with every struct method
+        bound once for the whole block.
+        """
+        (count,) = BLOCK_HEADER.unpack_from(data, offset)
+        pos = offset + BLOCK_HEADER.size
+        head_unpack = self._HEAD.unpack_from
+        head_size = self._HEAD.size
+        rec_unpack = self._record_struct.unpack_from
+        rec_size = self._record_struct.size
+        string_idxs = self._string_idxs
+        types = _TYPE_BY_CODE
+        record = UpdateRecord
+        limit = len(data)
+        records: list[UpdateRecord] = []
+        append = records.append
+        for _ in range(count):
+            timestamp, key, type_raw, payload_len = head_unpack(data, pos)
+            body = pos + head_size
+            pos = body + payload_len
+            if pos > limit:
+                raise ReproError("truncated update record")
+            if type_raw == 0 or type_raw == 3:  # INSERT / REPLACE
+                if payload_len != rec_size:
+                    raise ReproError(
+                        f"record payload of {payload_len} bytes does not "
+                        f"match schema size {rec_size}"
+                    )
+                values = list(rec_unpack(data, body))
+                for i in string_idxs:
+                    values[i] = values[i].rstrip(b"\x00").decode("utf-8")
+                content: object = tuple(values)
+            elif type_raw == 1:  # DELETE
+                content = None
+            else:  # MODIFY: rare on the hot path, reuse the field decoder.
+                changes = {}
+                field_pos = body
+                while field_pos < body + payload_len:
+                    (idx,) = struct.unpack_from("<H", data, field_pos)
+                    value, field_pos = self._unpack_field(idx, data, field_pos + 2)
+                    changes[self.schema.fields[idx].name] = value
+                content = changes
+            append(record(timestamp, key, types[type_raw], content))
+        return records

@@ -38,6 +38,20 @@ class CpuMeter:
             raise ValueError(f"cannot charge negative CPU time ({seconds})")
         self.total += seconds
 
+    def charge_batch(self, count: int, per_unit: float) -> None:
+        """Charge ``count`` units of work at ``per_unit`` seconds each.
+
+        The batch-oriented operators account CPU once per batch of records
+        (decoded block, merge chunk) instead of once per record; the total
+        charged is identical, only the charging granularity changes.
+        """
+        if count < 0 or per_unit < 0:
+            raise ValueError(
+                f"cannot charge negative CPU work ({count} x {per_unit})"
+            )
+        if count:
+            self.total += count * per_unit
+
     def snapshot(self) -> float:
         return self.total
 
@@ -49,6 +63,11 @@ MERGE_CPU_PER_UPDATE = 0.2e-6
 
 #: Default CPU cost to deliver one record from a scan (tuple handling).
 SCAN_CPU_PER_RECORD = 0.05e-6
+
+#: Merged records are charged to the CPU meter in batches of this many —
+#: per-batch accounting keeps the meter honest even when a consumer stops
+#: early, without a meter call per record on the hot path.
+MERGE_CPU_BATCH = 4096
 
 
 @dataclass

@@ -1,0 +1,158 @@
+"""Decoded-block cache: LRU behavior, counters, invalidation, and its effect
+on SSD reads; plus the batch codec API and migrated-range coalescing that
+back the block-granular read pipeline."""
+
+import pytest
+
+from repro.core.blockcache import DecodedBlockCache
+from repro.core.sortedrun import write_run
+from repro.core.update import BLOCK_HEADER, UpdateCodec, UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+CODEC = UpdateCodec(SCHEMA)
+
+
+def make_run(n=2000, name="r0", block_size=4 * KB, vol=None):
+    vol = vol or StorageVolume(SimulatedSSD(capacity=64 * MB))
+    ups = [
+        UpdateRecord(i + 1, i * 2, UpdateType.INSERT, (i * 2, f"v{i}"))
+        for i in range(n)
+    ]
+    return write_run(vol, name, ups, CODEC, block_size=block_size)
+
+
+# ------------------------------------------------------------------ LRU core
+def test_cache_hit_miss_eviction_counters():
+    cache = DecodedBlockCache(2)
+    assert cache.get("r", 0) is None
+    cache.put("r", 0, ([1], ["a"]))
+    cache.put("r", 1, ([2], ["b"]))
+    assert cache.get("r", 0) == ([1], ["a"])
+    cache.put("r", 2, ([3], ["c"]))  # evicts block 1 (LRU; 0 was touched)
+    assert cache.get("r", 1) is None
+    assert cache.get("r", 0) is not None
+    assert (cache.hits, cache.misses, cache.evictions) == (2, 2, 1)
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_invalidate_run_drops_only_that_run():
+    cache = DecodedBlockCache(8)
+    cache.put("a", 0, ([], []))
+    cache.put("a", 1, ([], []))
+    cache.put("b", 0, ([], []))
+    assert cache.invalidate_run("a") == 2
+    assert len(cache) == 1
+    assert cache.get("b", 0) is not None
+
+
+def test_cache_zero_capacity_disables_storage():
+    cache = DecodedBlockCache(0)
+    cache.put("r", 0, ([], []))
+    assert len(cache) == 0
+
+
+def test_stats_sink_receives_counts():
+    class Sink:
+        block_cache_hits = 0
+        block_cache_misses = 0
+        block_cache_evictions = 0
+
+    sink = Sink()
+    cache = DecodedBlockCache(1, stats=sink)
+    cache.get("r", 0)
+    cache.put("r", 0, ([], []))
+    cache.get("r", 0)
+    cache.put("r", 1, ([], []))
+    assert (sink.block_cache_hits, sink.block_cache_misses) == (1, 1)
+    assert sink.block_cache_evictions == 1
+
+
+# -------------------------------------------------------- cached run scans
+def test_warm_scan_skips_ssd_reads():
+    vol = StorageVolume(SimulatedSSD(capacity=64 * MB))
+    run = make_run(vol=vol)
+    cache = DecodedBlockCache(256)
+    assert list(run.scan(0, 10**9, cache=cache)) == list(run.scan_records(0, 10**9))
+    before = vol.device.snapshot()
+    warm = list(run.scan(0, 10**9, cache=cache))
+    delta = vol.device.stats.delta(before)
+    assert delta.bytes_read == 0  # fully served from decoded blocks
+    assert [u.key for u in warm] == [i * 2 for i in range(2000)]
+
+
+def test_blocks_decoded_counter():
+    class Stats:
+        blocks_decoded = 0
+        block_cache_hits = 0
+        block_cache_misses = 0
+        block_cache_evictions = 0
+
+    run = make_run()
+    stats = Stats()
+    cache = DecodedBlockCache(256, stats=stats)
+    list(run.scan(0, 10**9, cache=cache, stats=stats))
+    assert stats.blocks_decoded == run.num_blocks
+    list(run.scan(0, 10**9, cache=cache, stats=stats))
+    assert stats.blocks_decoded == run.num_blocks  # warm pass decodes nothing
+    assert stats.block_cache_hits == run.num_blocks
+
+
+# ------------------------------------------------------------- batch codec
+def test_encode_block_decode_block_round_trip():
+    updates = [
+        UpdateRecord(1, 5, UpdateType.INSERT, (5, "hello")),
+        UpdateRecord(2, 5, UpdateType.MODIFY, {"payload": "patched"}),
+        UpdateRecord(3, 9, UpdateType.DELETE, None),
+        UpdateRecord(4, 12, UpdateType.REPLACE, (12, "replaced")),
+    ]
+    block = CODEC.encode_block(updates)
+    assert CODEC.decode_block(block) == updates
+    # Per-record encoding agrees byte for byte with the batch encoder.
+    (count,) = BLOCK_HEADER.unpack_from(block, 0)
+    assert count == len(updates)
+    assert block[BLOCK_HEADER.size :] == b"".join(CODEC.encode(u) for u in updates)
+
+
+def test_decode_block_matches_record_decoder():
+    run = make_run(n=300)
+    data = run.file.read(0, run.block_size)
+    batch = CODEC.decode_block(data)
+    (count,) = BLOCK_HEADER.unpack_from(data, 0)
+    offset = BLOCK_HEADER.size
+    singles = []
+    for _ in range(count):
+        u, offset = CODEC.decode(data, offset)
+        singles.append(u)
+    assert batch == singles
+
+
+# ------------------------------------------------- migrated-range coalescing
+def test_mark_migrated_coalesces_overlaps():
+    run = make_run(n=100)
+    run.mark_migrated(10, 20)
+    run.mark_migrated(15, 30)
+    run.mark_migrated(31, 40)  # adjacent: merges too
+    run.mark_migrated(60, 70)
+    assert run.migrated_ranges == [(10, 40), (60, 70)]
+    run.mark_migrated(0, 100)
+    assert run.migrated_ranges == [(0, 100)]
+
+
+def test_is_migrated_bisect_semantics():
+    run = make_run(n=100)
+    for lo, hi in [(10, 20), (40, 50), (90, 95)]:
+        run.mark_migrated(lo, hi)
+    covered = {k for lo, hi in [(10, 20), (40, 50), (90, 95)] for k in range(lo, hi + 1)}
+    for key in range(0, 120):
+        assert run._is_migrated(key) == (key in covered)
+
+
+def test_many_partial_migrations_stay_compact():
+    run = make_run(n=2000)
+    for i in range(1000):
+        run.mark_migrated(i * 2, i * 2 + 2)  # each adjacent to the previous
+    assert run.migrated_ranges == [(0, 2000)]
