@@ -28,6 +28,7 @@ import pathlib
 import sys
 import time
 
+from repro import obs
 from repro.bench.harness import FigureResult
 from repro.core.blockcache import DecodedBlockCache
 from repro.core.operators import MergeDataUpdates, MergeUpdates, RunScan
@@ -111,6 +112,15 @@ def measure_full_pipeline(schema, runs, table, cache, legacy: bool) -> tuple[int
 def run_hotpath_bench(
     num_runs: int = 4, per_run: int = 30_000, table_rows: int = 20_000
 ) -> FigureResult:
+    """Run the hot-path measurement under a fresh metrics registry/tracer;
+    the observability report is attached on ``result.metrics``."""
+    with obs.use_registry() as registry, obs.use_tracer() as tracer:
+        result = _run_hotpath_bench(num_runs, per_run, table_rows)
+    result.metrics = obs.report_dict(registry, tracer, experiment="bench-scan-merge")
+    return result
+
+
+def _run_hotpath_bench(num_runs: int, per_run: int, table_rows: int) -> FigureResult:
     schema, runs, table = build_workload(num_runs, per_run, table_rows)
     result = FigureResult(
         figure="BENCH scan/merge",
@@ -147,15 +157,21 @@ def run_hotpath_bench(
     return result
 
 
-def write_results(result: FigureResult) -> pathlib.Path:
+def write_results(result: FigureResult, file_name: str = RESULT_FILE) -> pathlib.Path:
+    """Write the result table (and its obs metrics report) under results/.
+
+    Full runs overwrite the committed trajectory file; smoke/regression runs
+    pass a different ``file_name`` so the baseline is never clobbered.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / RESULT_FILE
+    path = RESULTS_DIR / file_name
     path.write_text(
         result.to_json(
             pre_change_baseline=PRE_CHANGE_BASELINE,
             unit="records/sec",
         )
     )
+    result.write_metrics(path.with_name(path.stem + ".metrics.json"))
     return path
 
 
@@ -175,14 +191,20 @@ def test_scan_merge_hotpath(benchmark=None):
     )
 
 
+SMOKE_KWARGS = dict(num_runs=3, per_run=4_000, table_rows=2_000)
+SMOKE_RESULT_FILE = "BENCH_scan_merge.smoke.json"
+
+
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
     if smoke:
-        result = run_hotpath_bench(num_runs=3, per_run=4_000, table_rows=2_000)
+        result = run_hotpath_bench(**SMOKE_KWARGS)
     else:
         result = run_hotpath_bench()
     print(result.format(precision=0))
-    path = write_results(result)
+    # Smoke runs go to a separate file: only full runs update the committed
+    # trajectory baseline.
+    path = write_results(result, SMOKE_RESULT_FILE if smoke else RESULT_FILE)
     print(f"\nwrote {path}")
     payload = json.loads(path.read_text())
     legacy = [r for r in payload["rows"] if r["label"] == "legacy"][0]

@@ -1,0 +1,163 @@
+"""CI regression gate for the scan/merge read hot path.
+
+Runs a fresh ``--smoke``-sized measurement of
+:mod:`benchmarks.bench_scan_merge_hotpath` and compares it against the
+committed full-run baseline in ``benchmarks/results/BENCH_scan_merge.json``.
+
+Absolute records/sec are machine-dependent (the committed baseline and a CI
+runner differ in CPU and in workload size), so the gate compares *normalized
+ratios*: every cell is divided by the same run's ``legacy`` value in the
+same column.  The legacy path is re-measured live on every run, so the
+ratios cancel out host speed and workload scale, leaving only the relative
+shape of the fast path — which is what a code regression changes.
+
+A fresh ratio may not fall more than ``--tolerance`` (default 20%) below
+the baseline ratio.  Exit status: 0 = within tolerance, 1 = regression,
+2 = usage/baseline error.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --smoke
+    PYTHONPATH=src python benchmarks/check_regression.py          # full size
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+sys.path.insert(0, str(HERE))
+
+from bench_scan_merge_hotpath import (  # noqa: E402
+    RESULTS_DIR,
+    SMOKE_KWARGS,
+    run_hotpath_bench,
+    write_results,
+)
+
+BASELINE_FILE = RESULTS_DIR / "BENCH_scan_merge.json"
+FRESH_RESULT_FILE = "BENCH_scan_merge.fresh.json"
+
+#: The row whose cells normalize every other row (re-measured each run).
+REFERENCE_ROW = "legacy"
+
+
+def load_rows(payload: dict) -> dict[str, dict[str, float]]:
+    """``{row_label: {column: value}}`` from a BENCH_scan_merge payload."""
+    return {row["label"]: dict(row["values"]) for row in payload["rows"]}
+
+
+def normalized(rows: dict[str, dict[str, float]]) -> dict[str, dict[str, float]]:
+    """Each cell divided by the reference row's value in the same column."""
+    try:
+        reference = rows[REFERENCE_ROW]
+    except KeyError:
+        raise ValueError(f"no {REFERENCE_ROW!r} row to normalize against")
+    ratios: dict[str, dict[str, float]] = {}
+    for label, values in rows.items():
+        if label == REFERENCE_ROW:
+            continue
+        ratios[label] = {
+            column: value / reference[column]
+            for column, value in values.items()
+            if reference.get(column)
+        }
+    return ratios
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    fresh: dict[str, dict[str, float]],
+    tolerance: float = 0.20,
+) -> list[str]:
+    """Regression messages (empty = pass).
+
+    A fresh normalized ratio must be >= (1 - tolerance) * the baseline
+    ratio for every cell present in both result sets.  Cells only in one
+    set (e.g. a new row) are ignored — the gate only defends existing wins.
+    """
+    base_ratios = normalized(baseline)
+    fresh_ratios = normalized(fresh)
+    failures: list[str] = []
+    for label, base_values in sorted(base_ratios.items()):
+        fresh_values = fresh_ratios.get(label)
+        if fresh_values is None:
+            failures.append(f"row {label!r} missing from fresh results")
+            continue
+        for column, base_ratio in sorted(base_values.items()):
+            fresh_ratio = fresh_values.get(column)
+            if fresh_ratio is None:
+                failures.append(f"cell {label}/{column} missing from fresh results")
+                continue
+            floor = (1.0 - tolerance) * base_ratio
+            if fresh_ratio < floor:
+                failures.append(
+                    f"{label}/{column}: fresh speedup {fresh_ratio:.2f}x vs "
+                    f"{REFERENCE_ROW} is below {floor:.2f}x "
+                    f"(baseline {base_ratio:.2f}x - {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate: scan/merge hot-path speedups may not regress >20%."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small CI-sized workload (ratios are size-independent)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop in a normalized speedup (default 0.20)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=BASELINE_FILE,
+        help="committed baseline JSON to compare against",
+    )
+    args = parser.parse_args(argv)
+
+    # Load the committed baseline BEFORE running anything: the fresh run
+    # writes its own file and must never touch the baseline.
+    try:
+        baseline = load_rows(json.loads(args.baseline.read_text()))
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+
+    kwargs = SMOKE_KWARGS if args.smoke else {}
+    result = run_hotpath_bench(**kwargs)
+    print(result.format(precision=0))
+    path = write_results(result, FRESH_RESULT_FILE)
+    print(f"\nwrote fresh results to {path}")
+
+    failures = compare(baseline, load_rows(result.to_dict()), args.tolerance)
+    base_ratios = normalized(baseline)
+    fresh_ratios = normalized(load_rows(result.to_dict()))
+    print(f"\nnormalized speedups vs {REFERENCE_ROW!r} "
+          f"(fresh / baseline, tolerance {args.tolerance:.0%}):")
+    for label in sorted(base_ratios):
+        for column in sorted(base_ratios[label]):
+            fresh_ratio = fresh_ratios.get(label, {}).get(column)
+            shown = "missing" if fresh_ratio is None else f"{fresh_ratio:.2f}x"
+            print(f"  {label}/{column}: {shown} / {base_ratios[label][column]:.2f}x")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no hot-path regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

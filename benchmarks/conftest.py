@@ -23,6 +23,9 @@ def figure_bench(benchmark):
     """
 
     def _run(driver, slug: str, **kwargs):
+        from repro.bench.figures import instrumented
+
+        driver = instrumented(slug, driver)  # fresh obs registry/tracer per run
         result = benchmark.pedantic(
             lambda: driver(**kwargs), rounds=1, iterations=1
         )
@@ -32,6 +35,7 @@ def figure_bench(benchmark):
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
         (RESULTS_DIR / f"{slug}.csv").write_text(result.to_csv())
+        result.write_metrics(RESULTS_DIR / f"{slug}.metrics.json")
         return result
 
     return _run

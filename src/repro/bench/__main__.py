@@ -8,7 +8,7 @@ Usage::
     python -m repro.bench figure-12 --csv out/
 
 Each experiment prints the paper-style table; ``--csv`` also writes one CSV
-per experiment.
+plus one ``<experiment>.metrics.json`` observability report per experiment.
 """
 
 from __future__ import annotations
@@ -78,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{key} finished in {elapsed:.1f}s wall time]\n")
         if args.csv is not None:
             (args.csv / f"{key}.csv").write_text(result.to_csv())
+            result.write_metrics(args.csv / f"{key}.metrics.json")
     return 0
 
 

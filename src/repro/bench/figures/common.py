@@ -12,9 +12,11 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.baselines.iu import IndexedUpdates
 from repro.core.masm import MaSM, MaSMConfig
 from repro.engine.table import Table
+from repro.storage.clock import SimClock
 from repro.storage.disk import SimulatedDisk
 from repro.storage.file import StorageVolume
 from repro.storage.iosched import CpuMeter, OverlapWindow, TimeBreakdown
@@ -51,9 +53,11 @@ class Rig:
     oracle: TimestampOracle
     cache_bytes: int
 
-    def measure(self, fn, *args, **kwargs) -> TimeBreakdown:
+    def measure(self, fn, *args, label: str = "query", **kwargs) -> TimeBreakdown:
         """Run ``fn`` under the async-overlap model; returns the breakdown."""
-        window = OverlapWindow({"disk": self.disk, "ssd": self.ssd}, self.cpu)
+        window = OverlapWindow(
+            {"disk": self.disk, "ssd": self.ssd}, self.cpu, label=label
+        )
         with window:
             fn(*args, **kwargs)
         return window.result
@@ -80,8 +84,13 @@ def build_rig(
     records = num_records if num_records is not None else int(BASE_RECORDS * scale)
     cache = cache_bytes if cache_bytes is not None else int(BASE_CACHE_BYTES * scale)
     table_bytes = records * 100
-    disk = SimulatedDisk(capacity=max(4 * table_bytes, 64 * MB))
-    ssd = SimulatedSSD(capacity=max(4 * cache, 8 * MB))
+    # One virtual timeline for the whole rig: devices advance it as simulated
+    # work completes, and the active tracer records spans against it so
+    # traces are deterministic (no host time anywhere).
+    clock = SimClock()
+    disk = SimulatedDisk(capacity=max(4 * table_bytes, 64 * MB), clock=clock)
+    ssd = SimulatedSSD(capacity=max(4 * cache, 8 * MB), clock=clock)
+    obs.get_tracer().bind_clock(clock)
     cpu = CpuMeter()
     disk_volume = StorageVolume(disk)
     ssd_volume = StorageVolume(ssd)

@@ -12,8 +12,9 @@ from __future__ import annotations
 import csv
 import io
 import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.errors import BenchmarkError
 
@@ -28,6 +29,10 @@ class FigureResult:
     columns: list[str] = field(default_factory=list)
     rows: list[tuple[str, dict[str, float]]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Observability report captured while the driver ran (metrics registry
+    #: dump + trace spans); populated by the instrumented driver wrappers in
+    #: :mod:`repro.bench.figures` and written out by :meth:`write_metrics`.
+    metrics: Optional[dict] = None
 
     # ------------------------------------------------------------- building
     def add_row(self, label: str, **values: float) -> None:
@@ -111,6 +116,18 @@ class FigureResult:
         payload = self.to_dict()
         payload.update(extra)
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def write_metrics(self, path) -> Optional[pathlib.Path]:
+        """Write the attached observability report as JSON next to the
+        figure's own output; no-op (returns None) when nothing is attached."""
+        if self.metrics is None:
+            return None
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.metrics, indent=2, sort_keys=True) + "\n"
+        )
+        return path
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format()

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro.core.update import UpdateRecord
+from repro.obs import get_registry
 
 #: Default capacity: 128 decoded blocks (8 MB of raw run data at the
 #: coarse 64 KB granularity, more as Python objects).
@@ -43,6 +44,13 @@ class DecodedBlockCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Process-wide aggregates across every cache instance; the exact
+        # per-engine counts stay on the attached MaSMStats sink.
+        registry = get_registry()
+        self._obs_hits = registry.counter("blockcache.hits")
+        self._obs_misses = registry.counter("blockcache.misses")
+        self._obs_evictions = registry.counter("blockcache.evictions")
+        self._obs_resident = registry.gauge("blockcache.resident_blocks")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,11 +63,13 @@ class DecodedBlockCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                self._obs_misses.add(1)
                 if stats is not None:
                     stats.block_cache_misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._obs_hits.add(1)
             if stats is not None:
                 stats.block_cache_hits += 1
             return entry
@@ -76,8 +86,10 @@ class DecodedBlockCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                self._obs_evictions.add(1)
                 if stats is not None:
                     stats.block_cache_evictions += 1
+            self._obs_resident.set(len(self._entries))
 
     def invalidate_run(self, run_name: str) -> int:
         """Drop every cached block of one run (called when a run is deleted).

@@ -23,6 +23,7 @@ from typing import Iterator, Optional
 
 from repro.core.blockcache import DEFAULT_CACHE_BLOCKS, DecodedBlockCache
 from repro.core.membuffer import InMemoryUpdateBuffer
+from repro.obs import get_registry, trace
 from repro.core.operators import (
     MemScan,
     MergeDataUpdates,
@@ -116,25 +117,65 @@ def derive_parameters(
     )
 
 
-@dataclass
-class MaSMStats:
-    """Counters behind the design-goal analysis of Section 3.7."""
-
-    updates_ingested: int = 0
-    updates_written_to_ssd: int = 0  # counts re-writes during run merges
-    runs_created: int = 0
-    runs_merged: int = 0
-    flushes: int = 0
-    migrations: int = 0
-    page_steals: int = 0
-    duplicates_merged: int = 0
+#: The per-instance counters behind the design-goal analysis of Section 3.7.
+MASM_STAT_FIELDS = (
+    "updates_ingested",
+    "updates_written_to_ssd",  # counts re-writes during run merges
+    "runs_created",
+    "runs_merged",
+    "flushes",
+    "migrations",
+    "page_steals",
+    "duplicates_merged",
     # Decoded-block cache counters (the read-path fast path): hits avoid
     # both the SSD read and the decode; blocks_decoded counts actual
     # block decodes performed by scans.
-    block_cache_hits: int = 0
-    block_cache_misses: int = 0
-    block_cache_evictions: int = 0
-    blocks_decoded: int = 0
+    "block_cache_hits",
+    "block_cache_misses",
+    "block_cache_evictions",
+    "blocks_decoded",
+)
+
+
+class MaSMStats:
+    """Counters behind the design-goal analysis of Section 3.7.
+
+    The values live in the process-wide metrics registry under a scope
+    unique to this instance (``masm-lineitem.flushes``, ...); this class is
+    a thin attribute view over those counters, so ``stats.flushes += 1``
+    and the exported registry series are one and the same number.
+    """
+
+    __slots__ = ("scope", "_counters")
+
+    def __init__(self, scope: Optional[str] = None, registry=None) -> None:
+        registry = registry if registry is not None else get_registry()
+        scope = registry.unique_scope(scope or "masm")
+        object.__setattr__(self, "scope", scope)
+        object.__setattr__(
+            self,
+            "_counters",
+            {name: registry.counter(f"{scope}.{name}") for name in MASM_STAT_FIELDS},
+        )
+
+    def __getattr__(self, name: str):
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        try:
+            self._counters[name].set(value)
+        except KeyError:
+            raise AttributeError(f"MaSMStats has no counter {name!r}") from None
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: self._counters[name].value for name in MASM_STAT_FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"MaSMStats({self.scope}: {inner})"
 
     @property
     def ssd_writes_per_update(self) -> float:
@@ -185,7 +226,7 @@ class MaSM:
         )
         self.runs: list[MaterializedSortedRun] = []  # creation order
         self._runs_by_flush_epoch: dict[int, MaterializedSortedRun] = {}
-        self.stats = MaSMStats()
+        self.stats = MaSMStats(scope=self.name)
         self.block_cache: Optional[DecodedBlockCache] = (
             DecodedBlockCache(self.config.decoded_cache_blocks, stats=self.stats)
             if self.config.decoded_cache_blocks > 0
@@ -301,28 +342,32 @@ class MaSM:
         with self._lock:
             if self.buffer.count == 0:
                 return None
-            updates = self.buffer.drain_sorted()
-            flush_epoch = self.buffer.flush_epoch
-            # Reset any stolen pages: the buffer returns to S pages.
-            self.buffer.capacity_bytes = (
-                self.params.update_pages * self.ssd_page_size
-            )
-            if self.config.merge_duplicates_on_flush:
-                updates = self._merge_duplicates(updates)
-            # Migrate first if this flush would push the cache past the
-            # threshold ("updates reach a certain threshold of the SSD size").
-            if self.config.auto_migrate and self.runs:
-                projected = self.cached_run_bytes + sum(
-                    self.codec.encoded_size(u) for u in updates
+            with trace("masm.flush", count=self.buffer.count):
+                updates = self.buffer.drain_sorted()
+                flush_epoch = self.buffer.flush_epoch
+                # Reset any stolen pages: the buffer returns to S pages.
+                self.buffer.capacity_bytes = (
+                    self.params.update_pages * self.ssd_page_size
                 )
-                if projected >= self.config.migration_threshold * self.cache_bytes:
-                    self.migrate()
-            run = self._write_run(updates, passes=1)
-            self._runs_by_flush_epoch[flush_epoch] = run
-            self.stats.flushes += 1
-            if self.redo_log is not None:
-                self.redo_log.log_run_flush(self.table.name, run.name, run.max_ts)
-            return run
+                if self.config.merge_duplicates_on_flush:
+                    updates = self._merge_duplicates(updates)
+                # Migrate first if this flush would push the cache past the
+                # threshold ("updates reach a certain threshold of the SSD
+                # size").
+                if self.config.auto_migrate and self.runs:
+                    projected = self.cached_run_bytes + sum(
+                        self.codec.encoded_size(u) for u in updates
+                    )
+                    if projected >= self.config.migration_threshold * self.cache_bytes:
+                        self.migrate()
+                run = self._write_run(updates, passes=1)
+                self._runs_by_flush_epoch[flush_epoch] = run
+                self.stats.flushes += 1
+                if self.redo_log is not None:
+                    self.redo_log.log_run_flush(
+                        self.table.name, run.name, run.max_ts
+                    )
+                return run
 
     def _merge_duplicates(self, updates: list[UpdateRecord]) -> list[UpdateRecord]:
         """Combine same-key duplicates when no concurrent scan forbids it.
@@ -409,19 +454,22 @@ class MaSM:
                 # bound exists precisely to make this unnecessary).
                 victims = self.runs[:2]
                 passes = max(r.passes for r in victims) + 1
-            merged_stream = MergeUpdatesPreservingDuplicates(victims)
-            size_hint = sum(r.file.size for r in victims) + self.config.block_size
-            run = self._write_run(
-                list(merged_stream),
-                passes=passes,
-                size_hint=size_hint,
-                replacing_bytes=sum(r.size_bytes for r in victims),
-            )
-            for victim in victims:
-                self.runs.remove(victim)
-                self._delete_run(victim)
-            self.stats.runs_merged += len(victims)
-            return run
+            with trace("masm.merge_runs", fan_in=len(victims), passes=passes):
+                merged_stream = MergeUpdatesPreservingDuplicates(victims)
+                size_hint = (
+                    sum(r.file.size for r in victims) + self.config.block_size
+                )
+                run = self._write_run(
+                    list(merged_stream),
+                    passes=passes,
+                    size_hint=size_hint,
+                    replacing_bytes=sum(r.size_bytes for r in victims),
+                )
+                for victim in victims:
+                    self.runs.remove(victim)
+                    self._delete_run(victim)
+                self.stats.runs_merged += len(victims)
+                return run
 
     # ------------------------------------------------------------------ scans
     def range_scan(
@@ -449,6 +497,7 @@ class MaSM:
 
         def stream() -> Iterator[tuple]:
             try:
+                span = trace("masm.scan", runs=len(runs), query_ts=query_ts)
                 update_sources: list = [
                     RunScan(
                         run,
@@ -473,9 +522,10 @@ class MaSM:
                 )
                 updates = MergeUpdates(update_sources, self.table.schema, cpu=self.cpu)
                 data = self.table.range_scan_pairs(begin_key, end_key)
-                yield from MergeDataUpdates(
-                    data, updates, self.table.schema, cpu=self.cpu
-                )
+                with span:
+                    yield from MergeDataUpdates(
+                        data, updates, self.table.schema, cpu=self.cpu
+                    )
             finally:
                 with self._lock:
                     self._active_scans.pop(scan_id, None)
@@ -503,11 +553,12 @@ class MaSM:
         from repro.core.migration import migrate_all
 
         with self._lock:
-            if self._migrate_hook is not None:
-                self._migrate_hook(self)
-            else:
-                migrate_all(self, redo_log=self.redo_log)
-            self.stats.migrations += 1
+            with trace("masm.migrate", runs=len(self.runs)):
+                if self._migrate_hook is not None:
+                    self._migrate_hook(self)
+                else:
+                    migrate_all(self, redo_log=self.redo_log)
+                self.stats.migrations += 1
 
     def retire_runs(
         self, runs: list[MaterializedSortedRun], barrier_ts: Optional[int] = None

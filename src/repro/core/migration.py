@@ -24,6 +24,7 @@ from repro.core.update import UpdateRecord, UpdateType, apply_update
 from repro.engine.heapfile import DEFAULT_FILL_FACTOR
 from repro.engine.page import SlottedPage
 from repro.errors import StorageError
+from repro.obs import get_registry, trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.masm import MaSM
@@ -40,6 +41,22 @@ class MigrationStats:
     inserts_deferred: int = 0  # partial migration: inserts left cached
     rows_after: int = 0
     runs_retired: int = 0
+
+    def publish(self, kind: str) -> None:
+        """Accumulate this outcome onto the process-wide migration counters
+        (``migration.pages_read``, ...), tagged by migration kind."""
+        registry = get_registry()
+        registry.counter(f"migration.{kind}.count").add(1)
+        for field_name in (
+            "pages_read",
+            "pages_written",
+            "updates_applied",
+            "inserts_deferred",
+            "runs_retired",
+        ):
+            registry.counter(f"migration.{field_name}").add(
+                getattr(self, field_name)
+            )
 
 
 def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
@@ -63,15 +80,17 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
         )
     )
     stats = MigrationStats(timestamp=t)
-    stats.rows_after, entries, out_pages = rewrite_heap_with_updates(
-        heap, schema, updates, stats
-    )
-    heap.truncate(out_pages)
-    table.replace_contents(entries, stats.rows_after)
-    if redo_log is not None:
-        redo_log.log_migration_end(t)
-    masm.retire_runs(runs, barrier_ts=t)
-    stats.runs_retired = len(runs)
+    with trace("migration.full", runs=len(runs)):
+        stats.rows_after, entries, out_pages = rewrite_heap_with_updates(
+            heap, schema, updates, stats
+        )
+        heap.truncate(out_pages)
+        table.replace_contents(entries, stats.rows_after)
+        if redo_log is not None:
+            redo_log.log_migration_end(t)
+        masm.retire_runs(runs, barrier_ts=t)
+        stats.runs_retired = len(runs)
+    stats.publish("full")
     return stats
 
 
@@ -248,15 +267,17 @@ class CoordinatedMigration:
         )
         stats = MigrationStats(timestamp=t)
         generator = rewrite_heap_streaming(table.heap, schema, updates, stats)
-        rows, entries, out_pages = yield from generator
-        stats.rows_after = rows
-        table.heap.truncate(out_pages)
-        table.replace_contents(entries, rows)
-        if self.redo_log is not None:
-            self.redo_log.log_migration_end(t)
-        masm.retire_runs(runs, barrier_ts=t)
-        stats.runs_retired = len(runs)
-        masm.stats.migrations += 1
+        with trace("migration.coordinated", runs=len(runs)):
+            rows, entries, out_pages = yield from generator
+            stats.rows_after = rows
+            table.heap.truncate(out_pages)
+            table.replace_contents(entries, rows)
+            if self.redo_log is not None:
+                self.redo_log.log_migration_end(t)
+            masm.retire_runs(runs, barrier_ts=t)
+            stats.runs_retired = len(runs)
+            masm.stats.migrations += 1
+        stats.publish("coordinated")
         self.stats = stats
 
 
@@ -302,45 +323,49 @@ def migrate_range(
     )
     stats = MigrationStats(timestamp=t)
     failed_spans: list[tuple[int, int]] = []
-    update = next(updates, None)
-    heap = table.heap
-    index = table.index
-    row_delta = 0
-    while update is not None:
-        page_no = index.locate_page(update.key)
-        page_span = _page_key_span(table, page_no, end_key)
-        page_updates = []
-        while update is not None and update.key <= page_span[1]:
-            page_updates.append(update)
-            update = next(updates, None)
-        page = heap.read_page(page_no)
-        stats.pages_read += 1
-        applied, delta = _apply_to_page(page, page_updates, schema)
-        if applied is None:
-            failed_spans.append(page_span)
-            stats.inserts_deferred += sum(
-                1 for u in page_updates if u.type in (UpdateType.INSERT, UpdateType.REPLACE)
-            )
-            continue
-        heap.write_page(page_no, applied)
-        stats.pages_written += 1
-        stats.updates_applied += len(page_updates)
-        row_delta += delta
-    table.row_count += row_delta
-    stats.rows_after = table.row_count
-    migrated = _subtract_spans((begin_key, end_key), failed_spans)
-    fully_retired = []
-    lo, hi = table.full_key_range()
-    for run in runs:
-        for span in migrated:
-            run.mark_migrated(*span)
-        if run.fully_migrated(run.min_key, run.max_key):
-            fully_retired.append(run)
-    if redo_log is not None:
-        redo_log.log_migration_end(t)
-    if fully_retired:
-        masm.retire_runs(fully_retired, barrier_ts=t)
-    stats.runs_retired = len(fully_retired)
+    with trace("migration.range", runs=len(runs)):
+        update = next(updates, None)
+        heap = table.heap
+        index = table.index
+        row_delta = 0
+        while update is not None:
+            page_no = index.locate_page(update.key)
+            page_span = _page_key_span(table, page_no, end_key)
+            page_updates = []
+            while update is not None and update.key <= page_span[1]:
+                page_updates.append(update)
+                update = next(updates, None)
+            page = heap.read_page(page_no)
+            stats.pages_read += 1
+            applied, delta = _apply_to_page(page, page_updates, schema)
+            if applied is None:
+                failed_spans.append(page_span)
+                stats.inserts_deferred += sum(
+                    1
+                    for u in page_updates
+                    if u.type in (UpdateType.INSERT, UpdateType.REPLACE)
+                )
+                continue
+            heap.write_page(page_no, applied)
+            stats.pages_written += 1
+            stats.updates_applied += len(page_updates)
+            row_delta += delta
+        table.row_count += row_delta
+        stats.rows_after = table.row_count
+        migrated = _subtract_spans((begin_key, end_key), failed_spans)
+        fully_retired = []
+        lo, hi = table.full_key_range()
+        for run in runs:
+            for span in migrated:
+                run.mark_migrated(*span)
+            if run.fully_migrated(run.min_key, run.max_key):
+                fully_retired.append(run)
+        if redo_log is not None:
+            redo_log.log_migration_end(t)
+        if fully_retired:
+            masm.retire_runs(fully_retired, barrier_ts=t)
+        stats.runs_retired = len(fully_retired)
+    stats.publish("range")
     return stats
 
 

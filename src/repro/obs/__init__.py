@@ -1,0 +1,53 @@
+"""Unified observability: metrics registry + phase tracing + exporters.
+
+One substrate replaces the previous patchwork of ``IOStats`` sums,
+``MaSMStats`` counters and per-benchmark dicts:
+
+* :mod:`repro.obs.registry` — process-wide counters, gauges and histograms
+  with ``snapshot()/delta()`` mirroring ``IOStats``;
+* :mod:`repro.obs.tracing` — nestable spans recorded against simulated
+  (deterministic) time: ``with obs.trace("masm.migrate"): ...``;
+* :mod:`repro.obs.export` — JSON and flat-text reports the benchmark
+  drivers write next to their ``FigureResult`` and CI uploads as artifacts.
+"""
+
+from repro.obs.export import export_json, export_text, report_dict, write_report
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "Tracer",
+    "export_json",
+    "export_text",
+    "get_registry",
+    "get_tracer",
+    "report_dict",
+    "set_registry",
+    "set_tracer",
+    "trace",
+    "use_registry",
+    "use_tracer",
+    "write_report",
+]

@@ -1,0 +1,81 @@
+"""Exporters: one observability report as JSON or flat text.
+
+The JSON report is what CI consumes (uploaded as a workflow artifact next to
+the benchmark results); the flat text form is for eyeballs and grep.  Both
+render the same payload: every instrument in a registry plus the tracer's
+finished spans.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Union
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer, get_tracer
+
+
+def report_dict(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    **extra,
+) -> dict:
+    """The canonical report payload (defaults to the process-wide instances)."""
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    payload = {
+        "metrics": registry.to_dict(),
+        "trace": tracer.to_dict(),
+    }
+    payload.update(extra)
+    return payload
+
+
+def export_json(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    **extra,
+) -> str:
+    """The report serialized as deterministic (sorted-key) JSON."""
+    return json.dumps(report_dict(registry, tracer, **extra), indent=2, sort_keys=True) + "\n"
+
+
+def export_text(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> str:
+    """Flat ``name value`` lines: counters/gauges one line, histograms their
+    summary scalars, then one line per traced phase with total duration."""
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    lines: list[str] = []
+    for name, payload in registry.to_dict().items():
+        if payload["kind"] in ("counter", "gauge"):
+            lines.append(f"{name} {payload['value']}")
+        else:
+            for scalar in ("count", "total", "mean", "min", "max", "p50", "p99"):
+                value = payload[scalar]
+                lines.append(f"{name}.{scalar} {0 if value is None else value}")
+    totals: dict[str, tuple[int, float]] = {}
+    for span in tracer.spans:
+        count, duration = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, duration + span.duration)
+    for name in sorted(totals):
+        count, duration = totals[name]
+        lines.append(f"trace.{name}.count {count}")
+        lines.append(f"trace.{name}.total_duration {duration}")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(
+    path: Union[str, pathlib.Path],
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    **extra,
+) -> pathlib.Path:
+    """Write the JSON report to ``path`` (parents created); returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(export_json(registry, tracer, **extra))
+    return path

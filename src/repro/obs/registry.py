@@ -1,0 +1,340 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The repro library previously kept three disjoint accounting mechanisms —
+:class:`repro.storage.stats.IOStats` on devices, ``MaSMStats`` counters on
+the engine, and ad-hoc dicts in benchmarks.  The registry is the shared
+substrate underneath all of them: every instrument lives in one namespace
+(``device.hdd.read.latency``, ``masm.flushes``, ...), can be snapshotted and
+diffed exactly like ``IOStats``, and exports to JSON for the CI regression
+gates.
+
+Design points:
+
+* **Get-or-create.**  ``registry.counter(name)`` returns the existing
+  instrument when the name is taken, so independent components can share a
+  series without coordination.  Asking for the same name with a different
+  instrument kind is an error.
+* **Deterministic histograms.**  Reservoirs are bounded by *stride
+  decimation* (keep every 2^k-th sample once full), not random sampling, so
+  repeated runs of a deterministic simulation export identical reports.
+* **Scopes.**  Components that can have many live instances
+  (``MaSM``) allocate a unique scope (``masm-lineitem``, ``masm-lineitem#2``)
+  so per-instance attribute views stay exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A cumulative numeric series (monotonic by convention, not enforced:
+    attribute views like ``MaSMStats`` assign through :meth:`set`)."""
+
+    kind = "counter"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def add(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def reset(self) -> None:
+        self.set(0)
+
+    def scalars(self) -> dict[str, Number]:
+        return {"value": self._value}
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge(Counter):
+    """A point-in-time value (utilization, queue depth, cache residency)."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+
+class Histogram:
+    """Distribution of observed values with a bounded, deterministic
+    reservoir.
+
+    Aggregates (count/total/min/max) are exact; percentiles come from the
+    reservoir.  When the reservoir fills, every other sample is dropped and
+    the keep-stride doubles — deterministic, so identical simulations export
+    identical reports (no random sampling).
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_samples",
+        "_stride",
+        "_capacity",
+        "_lock",
+    )
+
+    def __init__(self, name: str, reservoir: int = 512) -> None:
+        if reservoir < 2:
+            raise ValueError(f"histogram reservoir must be >= 2, got {reservoir}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: list[float] = []
+        self._stride = 1
+        self._capacity = reservoir
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        with self._lock:
+            if self.count % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) > self._capacity:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from the reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = (q / 100.0) * (len(samples) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = rank - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._samples = []
+            self._stride = 1
+
+    def scalars(self) -> dict[str, Number]:
+        return {"count": self.count, "total": self.total}
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "reservoir_size": len(self._samples),
+            "reservoir_stride": self._stride,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsSnapshot:
+    """A frozen view of a registry's scalar values at one instant.
+
+    Mirrors :class:`repro.storage.stats.IOStats`'s snapshot/delta idiom:
+    take one before a measured region, one after, and :meth:`delta` the two.
+    Histograms contribute their ``count`` and ``total`` scalars.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: dict[str, dict[str, Number]]) -> None:
+        self._values = values
+
+    def value(self, name: str, scalar: str = "value") -> Number:
+        """One scalar (0 when the instrument did not exist at snapshot)."""
+        return self._values.get(name, {}).get(scalar, 0)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Scalars accumulated since ``earlier`` was taken."""
+        out: dict[str, dict[str, Number]] = {}
+        for name, scalars in self._values.items():
+            before = earlier._values.get(name, {})
+            out[name] = {
+                key: value - before.get(key, 0) for key, value in scalars.items()
+            }
+        return MetricsSnapshot(out)
+
+    def as_dict(self) -> dict[str, dict[str, Number]]:
+        return {name: dict(scalars) for name, scalars in self._values.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class MetricsRegistry:
+    """A namespace of instruments, safe for concurrent use."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+        self._scopes: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- creation
+    def _get_or_create(self, name: str, factory: Callable[[], Instrument]):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                existing = factory()
+                self._instruments[name] = existing
+            return existing
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._get_or_create(name, lambda: Counter(name))
+        if instrument.kind != "counter":
+            raise ValueError(f"{name!r} already registered as {instrument.kind}")
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._get_or_create(name, lambda: Gauge(name))
+        if instrument.kind != "gauge":
+            raise ValueError(f"{name!r} already registered as {instrument.kind}")
+        return instrument
+
+    def histogram(self, name: str, reservoir: int = 512) -> Histogram:
+        instrument = self._get_or_create(name, lambda: Histogram(name, reservoir))
+        if instrument.kind != "histogram":
+            raise ValueError(f"{name!r} already registered as {instrument.kind}")
+        return instrument
+
+    def unique_scope(self, prefix: str) -> str:
+        """A scope name no other caller of this registry holds.
+
+        The first request for ``masm-lineitem`` gets exactly that; later
+        requests get ``masm-lineitem#2``, ``#3``, ... so per-instance series
+        never merge.
+        """
+        with self._lock:
+            n = self._scopes.get(prefix, 0) + 1
+            self._scopes[prefix] = n
+        return prefix if n == 1 else f"{prefix}#{n}"
+
+    # -------------------------------------------------------------- queries
+    def get(self, name: str) -> Optional[Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return MetricsSnapshot(
+            {inst.name: inst.scalars() for inst in instruments}
+        )
+
+    def to_dict(self, prefix: str = "") -> dict[str, dict]:
+        """JSON-ready dump of every instrument (optionally one namespace)."""
+        with self._lock:
+            instruments = [
+                inst
+                for name, inst in self._instruments.items()
+                if name.startswith(prefix)
+            ]
+        return {inst.name: inst.to_dict() for inst in sorted(
+            instruments, key=lambda i: i.name
+        )}
+
+    def reset(self) -> None:
+        """Zero every instrument (keeps registrations)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
+            inst.reset()
+
+
+# --------------------------------------------------------------------------
+# The process-wide default registry.  Components capture it at construction
+# time, so a driver that wants an isolated view installs its own with
+# use_registry() before building devices/engines.
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-wide registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide default; returns the old one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+class use_registry:
+    """Context manager installing a registry for the dynamic extent.
+
+    >>> with use_registry(MetricsRegistry()) as reg:
+    ...     rig = build_rig()        # devices register into ``reg``
+    ...     run_experiment(rig)
+    >>> report = reg.to_dict()
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_registry(self._previous)

@@ -1,0 +1,220 @@
+"""Lightweight span-based phase tracing on simulated time.
+
+``with trace("masm.migrate"):`` brackets a phase; spans nest (a merge inside
+a migration records the migration as its parent) and every span carries
+start/end timestamps read from a :class:`repro.storage.clock.SimClock` — the
+*virtual* timeline devices advance as simulated work completes — so a trace
+of a deterministic experiment is itself deterministic, byte for byte.
+
+The tracer is deliberately minimal: no sampling, no ids, just an append-only
+list of finished spans bounded by ``max_spans`` (overflow is counted, never
+silently lost).  Exporters in :mod:`repro.obs.export` serialize it next to
+the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class _NullClock:
+    """Stands in for a SimClock until one is bound: time frozen at zero.
+
+    (A real import of :class:`repro.storage.clock.SimClock` would be
+    circular — the storage layer itself records spans — and the tracer only
+    ever reads ``.now``.)
+    """
+
+    now = 0.0
+
+
+@dataclass
+class Span:
+    """One finished traced phase."""
+
+    name: str
+    start: float  # virtual seconds
+    end: float  # virtual seconds
+    depth: int  # 0 for a root span
+    parent: Optional[str]  # enclosing span's name, None at the root
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span (returned by Tracer.trace)."""
+
+    __slots__ = ("_tracer", "name", "meta", "start", "depth", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.meta = meta
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self)
+
+    def annotate(self, **meta) -> None:
+        """Attach metadata to the span while it is open."""
+        self.meta.update(meta)
+
+
+class Tracer:
+    """Collects nested spans against a bound virtual clock.
+
+    The clock may be rebound mid-experiment (``build_rig`` binds each rig's
+    shared device clock); span ends are clamped to their starts so a rebind
+    can never produce a negative duration.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        max_spans: int = 100_000,
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock if clock is not None else _NullClock()
+        self.max_spans = max_spans
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # ----------------------------------------------------------------- clock
+    def bind_clock(self, clock) -> None:
+        """Record subsequent spans against ``clock``'s timeline (any object
+        with a ``now`` attribute in seconds, typically a SimClock)."""
+        self.clock = clock
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # ----------------------------------------------------------------- spans
+    def trace(self, name: str, **meta) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.trace("masm.flush"):``."""
+        return _ActiveSpan(self, name, meta)
+
+    def _stack(self) -> list:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _push(self, span: _ActiveSpan) -> None:
+        stack = self._stack()
+        span.start = self.clock.now
+        span.depth = len(stack)
+        span.parent = stack[-1].name if stack else None
+        stack.append(span)
+
+    def _pop(self, span: _ActiveSpan) -> None:
+        stack = self._stack()
+        while stack and stack[-1] is not span:
+            stack.pop()  # unwound through an exception: close abandoned spans
+        if stack:
+            stack.pop()
+        if not self.enabled:
+            return
+        finished = Span(
+            name=span.name,
+            start=span.start,
+            end=max(span.start, self.clock.now),
+            depth=span.depth,
+            parent=span.parent,
+            meta=span.meta,
+        )
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self.spans.append(finished)
+
+    # --------------------------------------------------------------- queries
+    def find(self, name: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def total_duration(self, name: str) -> float:
+        return sum(s.duration for s in self.find(name))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.spans = []
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            spans = [s.to_dict() for s in self.spans]
+            dropped = self.dropped
+        return {
+            "clock": self.clock.now,
+            "span_count": len(spans),
+            "dropped": dropped,
+            "spans": spans,
+        }
+
+
+# --------------------------------------------------------------------------
+# Process-wide default tracer, mirroring the default registry.
+_default_tracer = Tracer()
+_default_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _default_tracer
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous
+
+
+class use_tracer:
+    """Context manager installing a tracer for the dynamic extent."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_tracer(self._previous)
+
+
+def trace(name: str, **meta) -> _ActiveSpan:
+    """Open a span on the current default tracer."""
+    return _default_tracer.trace(name, **meta)

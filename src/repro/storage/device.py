@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import StorageError
+from repro.obs.registry import get_registry
 from repro.storage.clock import SimClock
 from repro.storage.stats import IOStats
 from repro.util.units import GB, KB, MB, MS, US
@@ -166,6 +167,17 @@ class Device:
         self.store = BlockStore(profile.capacity)
         self.stats = IOStats()
         self._lock = threading.Lock()
+        # Registry instrumentation: per-op service-time distributions, which
+        # the hand-rolled busy_time sum cannot provide.  Devices sharing a
+        # profile name share these series (an experiment-level aggregate);
+        # exact per-device accounting stays on ``self.stats``.
+        registry = get_registry()
+        self._obs_read_latency = registry.histogram(
+            f"device.{profile.name}.read.latency"
+        )
+        self._obs_write_latency = registry.histogram(
+            f"device.{profile.name}.write.latency"
+        )
 
     # -- subclass hooks -----------------------------------------------------
     def _read_time(self, offset: int, size: int) -> tuple[float, float, bool]:
@@ -196,6 +208,8 @@ class Device:
                 self.stats.seq_reads += 1
             else:
                 self.stats.rand_reads += 1
+            self.clock.advance(service)
+        self._obs_read_latency.observe(service)
         return self.store.read(offset, size)
 
     def write(self, offset: int, data: bytes) -> None:
@@ -211,6 +225,8 @@ class Device:
                 self.stats.seq_writes += 1
             else:
                 self.stats.rand_writes += 1
+            self.clock.advance(service)
+        self._obs_write_latency.observe(service)
         self.store.write(offset, data)
 
     def peek(self, offset: int, size: int) -> bytes:

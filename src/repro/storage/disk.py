@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.obs.registry import get_registry
 from repro.storage.clock import SimClock
 from repro.storage.device import BARRACUDA_HDD, Device, DeviceProfile
 
@@ -42,6 +43,12 @@ class SimulatedDisk(Device):
             profile = profile.with_capacity(capacity)
         super().__init__(profile, clock)
         self._head = 0  # byte address just past the last access
+        # Head travel per repositioning, as a fraction of the full stroke:
+        # the distribution separates "track-to-track shuffle" interference
+        # from "full-stroke ping-pong" interference (Section 2.2).
+        self._obs_seek_fraction = get_registry().histogram(
+            f"device.{profile.name}.seek.stroke_fraction"
+        )
 
     @property
     def head_position(self) -> int:
@@ -70,6 +77,9 @@ class SimulatedDisk(Device):
             reposition = p.rotation_time
         else:
             reposition = self.seek_time(distance) + p.rotation_time / 2.0
+            self._obs_seek_fraction.observe(
+                min(1.0, abs(distance) / p.capacity)
+            )
         transfer = size / bandwidth
         self._head = offset + size
         return reposition + transfer, reposition, sequential

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from repro.obs.registry import get_registry
+from repro.obs.tracing import trace
 from repro.storage.device import Device
 from repro.storage.stats import IOStats
 
@@ -114,17 +116,22 @@ class OverlapWindow:
         self,
         devices: Mapping[str, Device],
         cpu: Optional[CpuMeter] = None,
+        label: str = "region",
     ) -> None:
         self._devices = dict(devices)
         self._cpu = cpu
+        self._label = label
         self._before: dict[str, IOStats] = {}
         self._cpu_before = 0.0
+        self._span = None
         self.result: Optional[TimeBreakdown] = None
 
     def __enter__(self) -> "OverlapWindow":
         self._before = {name: dev.snapshot() for name, dev in self._devices.items()}
         self._cpu_before = self._cpu.snapshot() if self._cpu else 0.0
         self.result = None
+        self._span = trace(f"measure.{self._label}")
+        self._span.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -136,6 +143,22 @@ class OverlapWindow:
         if self._cpu:
             breakdown.cpu = self._cpu.total - self._cpu_before
         self.result = breakdown
+        # The span brackets the simulated region; the registry keeps the
+        # overlap outcome: critical-path elapsed vs the no-overlap sum, per
+        # measured phase and per device.
+        if self._span is not None:
+            self._span.annotate(
+                elapsed=breakdown.elapsed, serial=breakdown.serial_elapsed
+            )
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
+        registry = get_registry()
+        registry.histogram(f"measure.{self._label}.elapsed").observe(
+            breakdown.elapsed
+        )
+        registry.counter(f"measure.{self._label}.cpu_seconds").add(breakdown.cpu)
+        for name, busy in breakdown.device_busy.items():
+            registry.counter(f"measure.{self._label}.busy.{name}").add(busy)
 
     @property
     def elapsed(self) -> float:
@@ -145,8 +168,11 @@ class OverlapWindow:
 
 
 def measure(devices: Mapping[str, Device], cpu: Optional[CpuMeter], fn, *args, **kwargs):
-    """Run ``fn`` inside an :class:`OverlapWindow`; return (result, breakdown)."""
-    window = OverlapWindow(devices, cpu)
+    """Run ``fn`` inside an :class:`OverlapWindow`; return (result, breakdown).
+
+    ``label`` (keyword-only) names the region's span and registry series.
+    """
+    window = OverlapWindow(devices, cpu, label=kwargs.pop("label", "region"))
     with window:
         value = fn(*args, **kwargs)
     return value, window.result

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.obs.registry import get_registry
 from repro.storage.clock import SimClock
 from repro.storage.device import Device, DeviceProfile, X25E_SSD
 from repro.util.units import US, ceil_div
@@ -49,6 +50,15 @@ class SimulatedSSD(Device):
         super().__init__(profile, clock)
         self._append_point = 0  # end of the last write, for append detection
         self.erase_count = 0
+        # Batched (libaio-style) reads get their own distributions: the batch
+        # width is what the internal-parallelism overlap model keys off.
+        registry = get_registry()
+        self._obs_batch_width = registry.histogram(
+            f"device.{self.profile.name}.read.batch_width"
+        )
+        self._obs_batch_latency = registry.histogram(
+            f"device.{self.profile.name}.read.batch_latency"
+        )
 
     # ------------------------------------------------------------------ time
     def _read_time(self, offset: int, size: int):
@@ -90,6 +100,9 @@ class SimulatedSSD(Device):
             self.stats.bytes_read += total
             self.stats.busy_time += service
             self.stats.rand_reads += len(requests)
+            self.clock.advance(service)
+        self._obs_batch_width.observe(len(requests))
+        self._obs_batch_latency.observe(service)
         return [self.store.read(offset, size) for offset, size in requests]
 
     def read_sync(self, offset: int, size: int) -> bytes:
@@ -109,6 +122,8 @@ class SimulatedSSD(Device):
             self.stats.bytes_read += size
             self.stats.busy_time += service
             self.stats.rand_reads += 1
+            self.clock.advance(service)
+        self._obs_read_latency.observe(service)
         return self.store.read(offset, size)
 
     def trim(self, offset: int, size: int) -> None:

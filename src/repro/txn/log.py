@@ -23,6 +23,7 @@ from typing import Iterator, Optional
 
 from repro.core.update import UpdateCodec, UpdateRecord
 from repro.errors import RecoveryError
+from repro.obs import get_registry
 from repro.storage.file import SimFile
 
 _FRAME = struct.Struct("<IB")  # payload length, record type
@@ -67,6 +68,9 @@ class RedoLog:
         #: table name -> codec, needed to decode UPDATE payloads on replay.
         self.codecs = dict(codecs or {})
         self.records_written = 0
+        registry = get_registry()
+        self._obs_records = registry.counter("txn.log.records_written")
+        self._obs_bytes = registry.counter("txn.log.bytes_written")
 
     def register_table(self, name: str, codec: UpdateCodec) -> None:
         self.codecs[name] = codec
@@ -76,6 +80,8 @@ class RedoLog:
         frame = _FRAME.pack(len(payload), int(rtype)) + payload
         self.file.append(frame)
         self.records_written += 1
+        self._obs_records.add(1)
+        self._obs_bytes.add(len(frame))
 
     def log_update(self, table: str, update: UpdateRecord) -> None:
         codec = self.codecs.get(table)

@@ -29,6 +29,7 @@ from repro.core.sortedrun import load_run
 from repro.core.update import UpdateRecord
 from repro.engine.table import Table
 from repro.errors import RecoveryError
+from repro.obs import get_registry, trace
 from repro.storage.file import StorageVolume
 from repro.txn.log import LogRecordType, RedoLog
 from repro.txn.timestamps import TimestampOracle
@@ -130,23 +131,26 @@ def recover_masm(
     pending: list[UpdateRecord] = []
     open_migrations: dict[int, tuple[str, ...]] = {}
     completed_migrations: list[tuple[str, ...]] = []
-    for record in redo_log.records():
-        report.max_timestamp_seen = max(report.max_timestamp_seen, record.timestamp)
-        if record.type == LogRecordType.UPDATE:
-            if record.table == table.name:
-                pending.append(record.update)
-        elif record.type == LogRecordType.RUN_FLUSH:
-            if record.table == table.name:
-                flushed_through = max(flushed_through, record.timestamp)
-        elif record.type == LogRecordType.MIGRATION_START:
-            open_migrations[record.timestamp] = record.run_names or ()
-        elif record.type == LogRecordType.MIGRATION_END:
-            names = open_migrations.pop(record.timestamp, None)
-            if names is None:
-                raise RecoveryError(
-                    f"migration end {record.timestamp} without a start record"
-                )
-            completed_migrations.append(names)
+    with trace("txn.recover.replay"):
+        for record in redo_log.records():
+            report.max_timestamp_seen = max(
+                report.max_timestamp_seen, record.timestamp
+            )
+            if record.type == LogRecordType.UPDATE:
+                if record.table == table.name:
+                    pending.append(record.update)
+            elif record.type == LogRecordType.RUN_FLUSH:
+                if record.table == table.name:
+                    flushed_through = max(flushed_through, record.timestamp)
+            elif record.type == LogRecordType.MIGRATION_START:
+                open_migrations[record.timestamp] = record.run_names or ()
+            elif record.type == LogRecordType.MIGRATION_END:
+                names = open_migrations.pop(record.timestamp, None)
+                if names is None:
+                    raise RecoveryError(
+                        f"migration end {record.timestamp} without a start record"
+                    )
+                completed_migrations.append(names)
 
     # Runs of completed migrations should be gone; delete leftovers (the
     # crash may have hit between the END record and the deletion).
@@ -178,5 +182,17 @@ def recover_masm(
         if masm.runs:
             masm.migrate()
             report.migrations_redone += 1
+
+    registry = get_registry()
+    registry.counter("txn.recovery.count").add(1)
+    for field_name in (
+        "runs_reloaded",
+        "buffer_updates_replayed",
+        "migrations_redone",
+        "leftover_runs_deleted",
+    ):
+        registry.counter(f"txn.recovery.{field_name}").add(
+            getattr(report, field_name)
+        )
 
     return masm, report

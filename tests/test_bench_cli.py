@@ -34,6 +34,18 @@ def test_runs_one_experiment_and_writes_csv(tmp_path, capsys):
     assert "normalized time" in csv_file.read_text()
 
 
+def test_csv_run_also_writes_metrics_report(tmp_path, capsys):
+    import json
+
+    assert main(["figure-11", "--scale", "0.2", "--csv", str(tmp_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads((tmp_path / "figure-11.metrics.json").read_text())
+    assert payload["experiment"] == "figure-11"
+    assert payload["metrics"]  # devices/engines registered instruments
+    assert payload["trace"]["span_count"] > 0
+    assert payload["trace"]["clock"] > 0  # virtual time advanced
+
+
 def test_module_is_executable():
     result = subprocess.run(
         [sys.executable, "-m", "repro.bench", "--list"],

@@ -1,0 +1,78 @@
+"""The CI hot-path regression gate (benchmarks/check_regression.py)."""
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS))
+
+from check_regression import compare, load_rows, normalized  # noqa: E402
+
+BASELINE_PATH = BENCHMARKS / "results" / "BENCH_scan_merge.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return load_rows(json.loads(BASELINE_PATH.read_text()))
+
+
+def test_committed_baseline_is_loadable(baseline):
+    assert "legacy" in baseline
+    assert "batch-warm" in baseline
+    assert baseline["batch-warm"]["merge_rps"] > baseline["legacy"]["merge_rps"]
+
+
+def test_baseline_vs_itself_passes(baseline):
+    assert compare(baseline, baseline, tolerance=0.20) == []
+    # even a zero-tolerance self-comparison holds exactly
+    assert compare(baseline, baseline, tolerance=0.0) == []
+
+
+def test_synthetic_25pct_slowdown_fails(baseline):
+    """A 25% drop in the batch path exceeds the 20% tolerance."""
+    slowed = copy.deepcopy(baseline)
+    for label, values in slowed.items():
+        if label == "legacy":
+            continue  # legacy is the normalizer; only the fast path regresses
+        for column in values:
+            values[column] *= 0.75
+    failures = compare(baseline, slowed, tolerance=0.20)
+    assert failures, "a 25% hot-path slowdown must trip the gate"
+    assert any("batch-warm/merge_rps" in f for f in failures)
+
+
+def test_slowdown_within_tolerance_passes(baseline):
+    slowed = copy.deepcopy(baseline)
+    for label, values in slowed.items():
+        if label == "legacy":
+            continue
+        for column in values:
+            values[column] *= 0.85  # 15% < the 20% tolerance
+    assert compare(baseline, slowed, tolerance=0.20) == []
+
+
+def test_uniform_machine_slowdown_passes(baseline):
+    """A slower host scales every row including legacy: ratios are unchanged,
+    so the gate must not fire (machine-independence)."""
+    slowed = {
+        label: {column: value * 0.5 for column, value in values.items()}
+        for label, values in baseline.items()
+    }
+    assert compare(baseline, slowed, tolerance=0.20) == []
+
+
+def test_missing_row_is_a_failure(baseline):
+    partial = {
+        label: values for label, values in baseline.items() if label != "batch-warm"
+    }
+    failures = compare(baseline, partial, tolerance=0.20)
+    assert any("batch-warm" in f and "missing" in f for f in failures)
+
+
+def test_normalized_requires_reference_row(baseline):
+    with pytest.raises(ValueError):
+        normalized({"batch-warm": {"merge_rps": 1.0}})

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.masm import MaSM, MaSMConfig, derive_parameters
-from repro.core.update import UpdateRecord, UpdateType
+from repro.core.update import UpdateType
 from repro.engine.record import synthetic_schema
 from repro.engine.table import Table
 from repro.storage.disk import SimulatedDisk
@@ -309,3 +309,55 @@ def test_duplicate_merging_on_flush():
     assert run.count == 1  # ten modifies collapsed into one
     assert masm.stats.duplicates_merged == 9
     assert scan_dict(masm, 40, 40)[40] == (40, "v9")
+
+
+# ------------------------------------------------- stats on the obs registry
+def test_stats_attribute_api_matches_registry_counters():
+    """MaSMStats is now a view over obs registry counters: the attribute API
+    (read, assign, +=) must behave exactly as the old dataclass did, and the
+    same numbers must be visible through the registry under the engine's
+    scope."""
+    from repro.core.masm import MASM_STAT_FIELDS
+    from repro.obs import get_registry, use_registry
+
+    with use_registry() as registry:
+        masm = make_masm(auto_migrate=False)
+        assert get_registry() is registry
+        for field in MASM_STAT_FIELDS:
+            assert getattr(masm.stats, field) == 0
+        for i in range(200):
+            masm.modify((i % 100) * 2, {"payload": "x"})
+        masm.flush_buffer()
+
+        assert masm.stats.updates_ingested == 200
+        assert masm.stats.flushes == 1
+        scope = masm.stats.scope
+        assert registry.counter(f"{scope}.updates_ingested").value == 200
+        assert registry.counter(f"{scope}.flushes").value == 1
+
+        # augmented assignment goes through the same counters
+        masm.stats.page_steals += 3
+        assert registry.counter(f"{scope}.page_steals").value == 3
+        masm.stats.page_steals = 0
+        assert masm.stats.page_steals == 0
+
+        # derived properties still compute from the counters
+        assert masm.stats.ssd_writes_per_update == 1.0
+        assert masm.stats.as_dict()["updates_ingested"] == 200
+
+        with pytest.raises(AttributeError):
+            masm.stats.not_a_counter
+        with pytest.raises(AttributeError):
+            masm.stats.not_a_counter = 1
+
+
+def test_two_engines_keep_separate_stat_series():
+    from repro.obs import use_registry
+
+    with use_registry():
+        a = make_masm(auto_migrate=False)
+        b = make_masm(auto_migrate=False)
+        assert a.stats.scope != b.stats.scope
+        a.modify(0, {"payload": "x"})
+        assert a.stats.updates_ingested == 1
+        assert b.stats.updates_ingested == 0

@@ -1,0 +1,218 @@
+"""Observability layer: registry semantics, span tracing, exporters."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import Histogram, MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+from repro.storage.clock import SimClock
+
+
+# ---------------------------------------------------------------- registry
+class TestCounters:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        assert counter.value == 0
+        counter.add(3)
+        counter.add(2)
+        assert counter.value == 5
+
+    def test_counter_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("resident")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_unique_scope_suffixes(self):
+        registry = MetricsRegistry()
+        assert registry.unique_scope("masm") == "masm"
+        assert registry.unique_scope("masm") == "masm#2"
+        assert registry.unique_scope("masm") == "masm#3"
+        assert registry.unique_scope("other") == "other"
+
+    def test_names_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("a.x")
+        registry.counter("a.y")
+        registry.counter("b.z")
+        assert registry.names("a.") == ["a.x", "a.y"]
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == 2.5
+
+    def test_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50, abs=2)
+        assert histogram.percentile(99) == pytest.approx(99, abs=2)
+
+    def test_reservoir_decimation_is_deterministic_and_bounded(self):
+        a, b = Histogram("a", reservoir=64), Histogram("b", reservoir=64)
+        for value in range(10_000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a._samples == b._samples  # no randomness
+        assert len(a._samples) <= 64
+        assert a.count == 10_000  # aggregates stay exact
+        assert a.max == 9_999.0
+
+    def test_snapshot_delta(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+        counter.add(10)
+        before = registry.snapshot()
+        counter.add(7)
+        after = registry.snapshot()
+        assert after.value("ops") == 17
+        assert after.delta(before).value("ops") == 7
+
+
+class TestDefaultRegistry:
+    def test_use_registry_installs_and_restores(self):
+        outer = obs.get_registry()
+        with use_registry() as inner:
+            assert obs.get_registry() is inner
+            assert inner is not outer
+        assert obs.get_registry() is outer
+
+    def test_instruments_in_scoped_registry_are_isolated(self):
+        with use_registry() as inner:
+            obs.get_registry().counter("scoped.only.here").add(1)
+            assert inner.counter("scoped.only.here").value == 1
+        assert obs.get_registry().get("scoped.only.here") is None  # outer untouched
+
+
+# ----------------------------------------------------------------- tracing
+class TestTracing:
+    def test_spans_record_virtual_time(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.trace("phase"):
+            clock.advance(1.5)
+            with tracer.trace("inner"):
+                clock.advance(0.5)
+        phase = tracer.find("phase")[0]
+        inner = tracer.find("inner")[0]
+        assert phase.start == 0.0
+        assert phase.end == pytest.approx(2.0)
+        assert phase.duration == pytest.approx(2.0)
+        assert inner.start == pytest.approx(1.5)
+        assert inner.duration == pytest.approx(0.5)
+
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("middle"):
+                with tracer.trace("leaf"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0 and by_name["outer"].parent is None
+        assert by_name["middle"].depth == 1 and by_name["middle"].parent == "outer"
+        assert by_name["leaf"].depth == 2 and by_name["leaf"].parent == "middle"
+
+    def test_exception_unwinds_cleanly(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("outer"):
+                with tracer.trace("inner"):
+                    raise RuntimeError("boom")
+        assert {s.name for s in tracer.spans} == {"outer", "inner"}
+        # a fresh root span must start at depth 0 again
+        with tracer.trace("after"):
+            pass
+        assert tracer.find("after")[0].depth == 0
+
+    def test_max_spans_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.trace(f"s{i}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_clock_rebind_clamps_to_start(self):
+        fast, slow = SimClock(), SimClock()
+        fast.advance(100.0)
+        tracer = Tracer(clock=fast)
+        with tracer.trace("phase"):
+            tracer.bind_clock(slow)  # now=0 < start=100
+        assert tracer.find("phase")[0].duration == 0.0
+
+    def test_annotate(self):
+        tracer = Tracer()
+        with tracer.trace("merge", fan_in=3) as span:
+            span.annotate(passes=2)
+        meta = tracer.find("merge")[0].meta
+        assert meta == {"fan_in": 3, "passes": 2}
+
+    def test_use_tracer_and_module_trace(self):
+        with use_tracer() as tracer:
+            with obs.trace("scoped"):
+                pass
+            assert len(tracer.find("scoped")) == 1
+        assert obs.get_tracer() is not tracer
+
+
+# --------------------------------------------------------------- exporters
+class TestExport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").add(5)
+        registry.histogram("lat").observe(0.25)
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.trace("phase", step=1):
+            clock.advance(2.0)
+        return registry, tracer
+
+    def test_json_round_trip(self):
+        registry, tracer = self._populated()
+        text = obs.export_json(registry, tracer, experiment="t")
+        payload = json.loads(text)
+        assert payload["experiment"] == "t"
+        assert payload["metrics"]["ops"]["value"] == 5
+        assert payload["metrics"]["lat"]["count"] == 1
+        spans = payload["trace"]["spans"]
+        assert spans[0]["name"] == "phase"
+        assert spans[0]["duration"] == pytest.approx(2.0)
+        # round-trip must be loss-free for the dict form
+        assert payload == json.loads(json.dumps(obs.report_dict(
+            registry, tracer, experiment="t")))
+
+    def test_text_export_flat_lines(self):
+        registry, tracer = self._populated()
+        lines = obs.export_text(registry, tracer).splitlines()
+        assert "ops 5" in lines
+        assert "lat.count 1" in lines
+        assert any(line.startswith("trace.phase.count 1") for line in lines)
+
+    def test_write_report(self, tmp_path):
+        registry, tracer = self._populated()
+        path = obs.write_report(tmp_path / "sub" / "report.json", registry, tracer)
+        assert json.loads(path.read_text())["metrics"]["ops"]["value"] == 5

@@ -11,7 +11,6 @@ from repro.workloads.tpch import (
     LINEITEMS_PER_ORDER,
     QUERY_IDS,
     QUERY_SCANS,
-    ROWS_PER_SF,
     generate_tpch,
     replay_query,
     tpch_update_stream,
