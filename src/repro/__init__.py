@@ -51,19 +51,24 @@ from repro.engine import Schema, SlottedPage, synthetic_schema
 from repro.engine.columnstore import ColumnTable
 from repro.engine.table import Table
 from repro.errors import (
+    ChecksumError,
     ReproError,
+    SimulatedCrash,
     StorageError,
     TransactionAborted,
+    TransientIOError,
     UpdateCacheFullError,
 )
 from repro.storage import (
     CpuMeter,
+    FaultPlan,
+    FaultyDevice,
     OverlapWindow,
     SimulatedDisk,
     SimulatedSSD,
     StorageVolume,
 )
-from repro.txn import TimestampOracle
+from repro.txn import RedoLog, TimestampOracle, recover_masm
 from repro.util.units import GB, KB, MB
 from repro.workloads import (
     SyntheticUpdateGenerator,
@@ -78,7 +83,10 @@ __all__ = [
     "KB",
     "MB",
     "ColumnTable",
+    "ChecksumError",
     "CpuMeter",
+    "FaultPlan",
+    "FaultyDevice",
     "IndexedUpdates",
     "InMemoryDifferential",
     "InPlaceUpdater",
@@ -88,8 +96,10 @@ __all__ = [
     "MaSMStats",
     "MaterializedSortedRun",
     "MigrationStats",
+    "RedoLog",
     "OverlapWindow",
     "ReproError",
+    "SimulatedCrash",
     "Schema",
     "SimulatedDisk",
     "SimulatedSSD",
@@ -100,6 +110,7 @@ __all__ = [
     "Table",
     "TimestampOracle",
     "TransactionAborted",
+    "TransientIOError",
     "UpdateCacheFullError",
     "UpdateRecord",
     "UpdateType",
@@ -108,5 +119,6 @@ __all__ = [
     "generate_tpch",
     "migrate_all",
     "migrate_range",
+    "recover_masm",
     "synthetic_schema",
 ]

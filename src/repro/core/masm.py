@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.core.blockcache import DEFAULT_CACHE_BLOCKS, DecodedBlockCache
@@ -42,6 +43,7 @@ from repro.core.update import (
 )
 from repro.engine.table import Table
 from repro.errors import OutOfSpaceError, UpdateCacheFullError
+from repro.storage.faults import crash_point
 from repro.storage.file import StorageVolume
 from repro.storage.iosched import CpuMeter
 from repro.txn.timestamps import TimestampOracle
@@ -134,6 +136,12 @@ MASM_STAT_FIELDS = (
     "block_cache_misses",
     "block_cache_evictions",
     "blocks_decoded",
+    # Fault tolerance: runs quarantined after failed checksum verification,
+    # scans that fell back to redo-log replay of a damaged run, and
+    # completed scrub passes.
+    "quarantined_runs",
+    "log_fallback_scans",
+    "scrubs",
 )
 
 
@@ -189,6 +197,31 @@ class MaSMStats:
         """Fraction of block lookups served from the decoded-block cache."""
         total = self.block_cache_hits + self.block_cache_misses
         return self.block_cache_hits / total if total else 0.0
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one :meth:`MaSM.scrub` pass."""
+
+    runs_checked: int = 0
+    blocks_checked: int = 0
+    #: run name -> damaged block numbers found by verification.
+    damaged_blocks: dict[str, list[int]] = field(default_factory=dict)
+    #: runs left quarantined by this pass (newly or previously damaged).
+    quarantined: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.damaged_blocks
+
+    def as_dict(self) -> dict:
+        return {
+            "runs_checked": self.runs_checked,
+            "blocks_checked": self.blocks_checked,
+            "damaged_blocks": dict(self.damaged_blocks),
+            "quarantined": list(self.quarantined),
+            "clean": self.clean,
+        }
 
 
 class MaSM:
@@ -345,6 +378,10 @@ class MaSM:
             with trace("masm.flush", count=self.buffer.count):
                 updates = self.buffer.drain_sorted()
                 flush_epoch = self.buffer.flush_epoch
+                # Raw (pre-duplicate-merge) timestamp span: the log-replay
+                # fallback must cover every logged update this run absorbs.
+                raw_min_ts = min(u.timestamp for u in updates)
+                raw_max_ts = max(u.timestamp for u in updates)
                 # Reset any stolen pages: the buffer returns to S pages.
                 self.buffer.capacity_bytes = (
                     self.params.update_pages * self.ssd_page_size
@@ -361,6 +398,12 @@ class MaSM:
                     if projected >= self.config.migration_threshold * self.cache_bytes:
                         self.migrate()
                 run = self._write_run(updates, passes=1)
+                run.covered_min_ts = raw_min_ts
+                run.covered_max_ts = raw_max_ts
+                # The window a crash test cares most about: the run is
+                # durable on the SSD but its RUN_FLUSH record is not logged
+                # yet — recovery must detect and discard the orphan run.
+                crash_point("masm.flush.run_written")
                 self._runs_by_flush_epoch[flush_epoch] = run
                 self.stats.flushes += 1
                 if self.redo_log is not None:
@@ -455,7 +498,19 @@ class MaSM:
                 victims = self.runs[:2]
                 passes = max(r.passes for r in victims) + 1
             with trace("masm.merge_runs", fan_in=len(victims), passes=passes):
-                merged_stream = MergeUpdatesPreservingDuplicates(victims)
+                # Fallback-aware sources: merging a quarantined victim
+                # replays its content from the redo log, so the merge also
+                # *heals* damaged runs — the merged output is freshly
+                # written, sealed and trustworthy again.
+                full = (0, 2**63 - 1)
+                merged_stream = merge_update_streams(
+                    [
+                        iter(src)
+                        for src in self.run_update_sources(
+                            victims, *full, query_ts=None, use_cache=False
+                        )
+                    ]
+                )
                 size_hint = (
                     sum(r.file.size for r in victims) + self.config.block_size
                 )
@@ -465,6 +520,8 @@ class MaSM:
                     size_hint=size_hint,
                     replacing_bytes=sum(r.size_bytes for r in victims),
                 )
+                run.covered_min_ts = min(r.covered_min_ts for r in victims)
+                run.covered_max_ts = max(r.covered_max_ts for r in victims)
                 for victim in victims:
                     self.runs.remove(victim)
                     self._delete_run(victim)
@@ -498,17 +555,9 @@ class MaSM:
         def stream() -> Iterator[tuple]:
             try:
                 span = trace("masm.scan", runs=len(runs), query_ts=query_ts)
-                update_sources: list = [
-                    RunScan(
-                        run,
-                        begin_key,
-                        end_key,
-                        query_ts,
-                        cache=self.block_cache,
-                        stats=self.stats,
-                    )
-                    for run in runs
-                ]
+                update_sources: list = self.run_update_sources(
+                    runs, begin_key, end_key, query_ts
+                )
                 update_sources.append(
                     MemScan(
                         self.buffer,
@@ -536,6 +585,137 @@ class MaSM:
     def _run_for_flush(self, flush_epoch: int) -> Optional[MaterializedSortedRun]:
         with self._lock:
             return self._runs_by_flush_epoch.get(flush_epoch)
+
+    # ------------------------------------------------- degraded read path
+    def run_update_sources(
+        self,
+        runs: list[MaterializedSortedRun],
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int],
+        use_cache: bool = True,
+    ) -> list[RunScan]:
+        """Build the per-run scan operators for a query or migration.
+
+        Each :class:`RunScan` gets a fallback that replays the run's
+        timestamp range from the redo log, so a run whose SSD blocks fail
+        checksum verification degrades to a correct (slower) stream instead
+        of failing the query.  Without an attached redo log there is no
+        fallback and verification errors propagate.
+        """
+        cache = self.block_cache if use_cache else None
+        return [
+            RunScan(
+                run,
+                begin_key,
+                end_key,
+                query_ts,
+                cache=cache,
+                stats=self.stats,
+                fallback=self._fallback_for(run, begin_key, end_key, query_ts),
+            )
+            for run in runs
+        ]
+
+    def _fallback_for(self, run, begin_key, end_key, query_ts):
+        if self.redo_log is None:
+            return None
+
+        def fallback(after):
+            return self._log_fallback(run, begin_key, end_key, query_ts, after)
+
+        return fallback
+
+    def _log_fallback(
+        self,
+        run: MaterializedSortedRun,
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int],
+        after: Optional[tuple[int, int]],
+    ) -> Iterator[UpdateRecord]:
+        """Replace a damaged run's scan with redo-log replay of its range.
+
+        Quarantines the run (first failure only), then yields exactly the
+        updates the run's intact blocks would have yielded: the table's
+        logged updates inside the run's covered timestamp range, (key, ts)-
+        sorted, with the query's key range, timestamp visibility, ``after``
+        resume position and the run's migrated ranges applied.
+        """
+        if run.quarantine("block failed verification during scan"):
+            self.stats.quarantined_runs += 1
+            if self.block_cache is not None:
+                self.block_cache.invalidate_run(run.name)
+        self.stats.log_fallback_scans += 1
+        with trace(
+            "masm.log_fallback",
+            run=run.name,
+            min_ts=run.covered_min_ts,
+            max_ts=run.covered_max_ts,
+        ):
+            replayed = self._replay_run_updates(run)
+        migrated = list(run.migrated_ranges)
+        migrated_starts = [lo for lo, _ in migrated] if migrated else None
+        for update in replayed:
+            if update.key < begin_key or update.key > end_key:
+                continue
+            if query_ts is not None and update.timestamp > query_ts:
+                continue
+            if after is not None and update.sort_key() <= after:
+                continue
+            if migrated_starts is not None:
+                j = bisect_right(migrated_starts, update.key) - 1
+                if j >= 0 and update.key <= migrated[j][1]:
+                    continue
+            yield update
+
+    def _replay_run_updates(self, run: MaterializedSortedRun) -> list[UpdateRecord]:
+        """The table's logged updates in ``run``'s covered timestamp range."""
+        from repro.txn.log import LogRecordType
+
+        updates = [
+            rec.update
+            for rec in self.redo_log.records()
+            if rec.type == LogRecordType.UPDATE
+            and rec.table == self.table.name
+            and run.covered_min_ts <= rec.timestamp <= run.covered_max_ts
+        ]
+        updates.sort(key=UpdateRecord.sort_key)
+        return updates
+
+    # ------------------------------------------------------------- scrubbing
+    def scrub(self) -> "ScrubReport":
+        """Proactively checksum-verify every cached run (Section 3.6's
+        durability, actively enforced).
+
+        Damaged runs are quarantined so subsequent scans use the redo-log
+        fallback immediately instead of discovering the damage mid-query.
+        Returns a report suitable for JSON export.
+        """
+        with self._lock:
+            runs = list(self.runs)
+        report = ScrubReport()
+        with trace("masm.scrub", runs=len(runs)):
+            for run in runs:
+                damaged = run.verify_blocks()
+                report.runs_checked += 1
+                report.blocks_checked += run.num_blocks
+                if damaged:
+                    report.damaged_blocks[run.name] = damaged
+                    report.quarantined.append(run.name)
+                    if run.quarantine(
+                        f"scrub found {len(damaged)} damaged block(s)"
+                    ):
+                        self.stats.quarantined_runs += 1
+                        if self.block_cache is not None:
+                            self.block_cache.invalidate_run(run.name)
+        self.stats.scrubs += 1
+        registry = get_registry()
+        registry.counter("masm.scrub.blocks_checked").add(report.blocks_checked)
+        registry.counter("masm.scrub.damaged_blocks").add(
+            sum(len(blocks) for blocks in report.damaged_blocks.values())
+        )
+        return report
 
     def _delete_run(self, run: MaterializedSortedRun) -> None:
         """Delete a run's SSD file and drop its decoded blocks."""

@@ -25,6 +25,7 @@ from repro.engine.heapfile import DEFAULT_FILL_FACTOR
 from repro.engine.page import SlottedPage
 from repro.errors import StorageError
 from repro.obs import get_registry, trace
+from repro.storage.faults import crash_point
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.masm import MaSM
@@ -74,7 +75,7 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
     full = (0, 2**63 - 1)
     updates = iter(
         MergeUpdates(
-            [run.scan(*full, query_ts=t, stats=masm.stats) for run in runs],
+            masm.run_update_sources(runs, *full, query_ts=t, use_cache=False),
             schema,
             cpu=masm.cpu,
         )
@@ -168,6 +169,9 @@ def rewrite_heap_streaming(
 
     def emit(record: tuple, ts: int) -> None:
         nonlocal current_used, current_first_key, rows
+        # Crash-point site for plan-driven mid-migration crash tests: fires
+        # once per output record, so occurrence=N dies after N records.
+        crash_point("migration.emit")
         data = schema.pack(record)
         cost = len(data) + 8
         if current_used + cost > budget or not current.fits(len(data)):
@@ -260,7 +264,7 @@ class CoordinatedMigration:
         full = (0, 2**63 - 1)
         updates = iter(
             MergeUpdates(
-                [run.scan(*full, query_ts=t, stats=masm.stats) for run in runs],
+                masm.run_update_sources(runs, *full, query_ts=t, use_cache=False),
                 schema,
                 cpu=masm.cpu,
             )
@@ -307,16 +311,7 @@ def migrate_range(
         )
     updates = iter(
         MergeUpdates(
-            [
-                run.scan(
-                    begin_key,
-                    end_key,
-                    query_ts=t,
-                    cache=masm.block_cache,
-                    stats=masm.stats,
-                )
-                for run in runs
-            ],
+            masm.run_update_sources(runs, begin_key, end_key, query_ts=t),
             schema,
             cpu=masm.cpu,
         )

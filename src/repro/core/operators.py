@@ -26,6 +26,7 @@ from repro.core.membuffer import BufferFlushed, InMemoryUpdateBuffer
 from repro.core.sortedrun import MaterializedSortedRun
 from repro.core.update import UpdateRecord, apply_update, combine, combine_chain
 from repro.engine.record import Schema
+from repro.errors import ChecksumError, TransientIOError
 from repro.storage.iosched import (
     MERGE_CPU_BATCH,
     MERGE_CPU_PER_UPDATE,
@@ -102,6 +103,16 @@ class RunScan:
 
     ``cache`` is the MaSM instance's shared :class:`DecodedBlockCache`;
     ``stats`` receives blocks-decoded counts (both optional).
+
+    ``fallback`` makes the scan degrade gracefully when the run's SSD copy
+    turns out to be damaged: if a block fails checksum verification (or a
+    read keeps failing transiently past the retry budget), the scan hands
+    over to ``fallback(after)`` — a slower but correct replacement stream,
+    in practice MaSM's redo-log replay of the run's timestamp range.  The
+    handover is seamless because the run scan verifies each block *before*
+    yielding anything from it, so ``after`` (the last yielded (key, ts)
+    position, or None) is an exact resume point — the same contract
+    :class:`MemScan` uses when a flush hands it over to a run.
     """
 
     def __init__(
@@ -112,6 +123,9 @@ class RunScan:
         query_ts: Optional[int] = None,
         cache: Optional[DecodedBlockCache] = None,
         stats=None,
+        fallback: Optional[
+            Callable[[Optional[tuple[int, int]]], Iterable[UpdateRecord]]
+        ] = None,
     ) -> None:
         self.run = run
         self.begin_key = begin_key
@@ -119,15 +133,36 @@ class RunScan:
         self.query_ts = query_ts
         self.cache = cache
         self.stats = stats
+        self.fallback = fallback
 
     def __iter__(self) -> Iterator[UpdateRecord]:
-        return self.run.scan(
+        if self.run.quarantined and self.fallback is not None:
+            yield from self.fallback(None)
+            return
+        source = self.run.scan(
             self.begin_key,
             self.end_key,
             self.query_ts,
             cache=self.cache,
             stats=self.stats,
         )
+        if self.fallback is None:
+            yield from source
+            return
+        last: Optional[tuple[int, int]] = None
+        while True:
+            try:
+                update = next(source)
+            except StopIteration:
+                return
+            except (ChecksumError, TransientIOError):
+                # The run's bytes can no longer be trusted (or read); switch
+                # to the fallback stream, resuming after the last record
+                # already delivered.
+                yield from self.fallback(last)
+                return
+            last = (update.key, update.timestamp)
+            yield update
 
 
 class MemScan:

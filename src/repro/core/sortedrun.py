@@ -20,7 +20,9 @@ from typing import Iterable, Iterator, Optional
 from repro.core.blockcache import DecodedBlock, DecodedBlockCache
 from repro.core.runindex import COARSE_GRANULARITY, RunIndex
 from repro.core.update import BLOCK_HEADER, UpdateCodec, UpdateRecord
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError
+from repro.obs.registry import get_registry
+from repro.storage import checksum as _checksum
 from repro.storage.file import SimFile, StorageVolume
 from repro.util.units import MB, ceil_div
 
@@ -67,6 +69,52 @@ class MaterializedSortedRun:
         self.passes = passes
         #: Key ranges already migrated back to the main data (Section 3.5).
         self.migrated_ranges: list[tuple[int, int]] = []
+        #: Set when a block failed checksum verification after retries; the
+        #: run's SSD copy can no longer be trusted and scans must fall back
+        #: to redo-log replay of its timestamp range.
+        self.quarantined = False
+        self.quarantine_reason: Optional[str] = None
+        #: The timestamp range of *logged* updates this run is the durable
+        #: home of.  Equals [min_ts, max_ts] of the content except when
+        #: flush-time duplicate merging narrowed the content's span; the
+        #: redo-log fallback replays this range, not the content's.
+        self.covered_min_ts = min_ts
+        self.covered_max_ts = max_ts
+
+    # ------------------------------------------------------------- integrity
+    def quarantine(self, reason: str) -> bool:
+        """Mark the run as damaged; returns True if it was newly quarantined."""
+        if self.quarantined:
+            return False
+        self.quarantined = True
+        self.quarantine_reason = reason
+        get_registry().counter("masm.runs.quarantined").add(1)
+        return True
+
+    def verify_blocks(self) -> list[int]:
+        """Checksum-verify every block (scrub); returns damaged block numbers.
+
+        Reads the whole run with large sequential I/Os.  Verification
+        failures are collected, not raised, so one bad block does not hide
+        others — the caller decides whether to quarantine.
+        """
+        damaged: list[int] = []
+        offset = 0
+        total = self.num_blocks * self.block_size
+        while offset < total:
+            chunk = min(DEFAULT_WRITE_CHUNK, total - offset)
+            data = self.file.read(offset, chunk)
+            for base in range(0, chunk, self.block_size):
+                block_no = (offset + base) // self.block_size
+                try:
+                    _checksum.verify(
+                        data[base : base + self.block_size],
+                        context=f"run {self.name!r} block {block_no}",
+                    )
+                except ChecksumError:
+                    damaged.append(block_no)
+            offset += chunk
+        return damaged
 
     # -------------------------------------------------------------- geometry
     @property
@@ -131,6 +179,7 @@ class MaterializedSortedRun:
             if missing:
                 requests = [(b * block_size, block_size) for b in missing]
                 for b, data in zip(missing, self.file.read_batch(requests)):
+                    _checksum.verify(data, context=f"run {name!r} block {b}")
                     entry = self._decode_block_batch(data)
                     if stats is not None:
                         stats.blocks_decoded += 1
@@ -206,7 +255,8 @@ class MaterializedSortedRun:
                 (b * self.block_size, self.block_size)
                 for b in range(block, group_end + 1)
             ]
-            for data in self.file.read_batch(requests):
+            for b, data in zip(range(block, group_end + 1), self.file.read_batch(requests)):
+                _checksum.verify(data, context=f"run {self.name!r} block {b}")
                 yield from self._decode_block_records(
                     data, begin_key, end_key, query_ts, after
                 )
@@ -295,7 +345,10 @@ def load_run(
 
     Materialized runs survive a crash on the non-volatile SSD; only their
     in-memory run index and statistics are lost.  This reads the run once
-    (large sequential I/Os) and reconstructs them.
+    (large sequential I/Os), checksum-verifying every block, and
+    reconstructs them.  A damaged block raises :class:`ChecksumError` —
+    recovery treats the whole run as damaged and rebuilds it from the redo
+    log rather than trusting a partially verified file.
     """
     file = volume.open(name)
     num_blocks = file.size // block_size
@@ -308,6 +361,10 @@ def load_run(
         chunk = min(DEFAULT_WRITE_CHUNK, num_blocks * block_size - offset)
         data = file.read(offset, chunk)
         for base in range(0, chunk, block_size):
+            _checksum.verify(
+                data[base : base + block_size],
+                context=f"run {name!r} block {(offset + base) // block_size}",
+            )
             records = codec.decode_block(data, base)
             for update in records:
                 if min_key is None:
@@ -399,7 +456,7 @@ def write_run(
         if not block_records:
             return
         body = codec.frame_block(block_records)
-        blocks_in_chunk.append(body.ljust(block_size, b"\x00"))
+        blocks_in_chunk.append(_checksum.seal(body, block_size))
         first_keys.append(block_first_key)
         block_records = []
         block_bytes = _BLOCK_HEADER.size
@@ -424,11 +481,14 @@ def write_run(
                     f"updates for run {name!r} are not (key, ts)-sorted"
                 )
             last_sort_key = sort_key
-            if _BLOCK_HEADER.size + len(encoded) > block_size:
+            # Each block's payload budget leaves room for the checksum
+            # trailer stamped by close_block.
+            payload_budget = block_size - _checksum.TRAILER_SIZE
+            if _BLOCK_HEADER.size + len(encoded) > payload_budget:
                 raise StorageError(
                     f"update of {len(encoded)} bytes exceeds block size {block_size}"
                 )
-            if block_bytes + len(encoded) > block_size:
+            if block_bytes + len(encoded) > payload_budget:
                 close_block()
             if block_first_key is None:
                 block_first_key = update.key
@@ -455,7 +515,8 @@ def write_run(
     else:
         flush_chunk()
 
-    assert file is not None
+    if file is None:  # pragma: no cover - guarded by the count check above
+        raise StorageError(f"run {name!r} was never allocated a file")
     used = written_blocks * block_size
     if used < file.size:
         shrink = getattr(volume, "shrink", None)

@@ -20,6 +20,36 @@ class OutOfSpaceError(StorageError):
     """An allocation exceeded the capacity of a device or file."""
 
 
+class DeviceBoundsError(StorageError):
+    """An access referenced a byte range outside a device's capacity."""
+
+
+class DuplicateFileError(StorageError):
+    """A file creation reused a name that already exists on the volume."""
+
+
+class TransientIOError(StorageError):
+    """A simulated, retryable I/O failure (injected by a fault plan).
+
+    The retry policy in :mod:`repro.storage.iosched` treats this — and only
+    this — error class as retryable; persistent damage surfaces as
+    :class:`ChecksumError` and is never retried.
+    """
+
+
+class ChecksumError(StorageError):
+    """Stored data failed checksum verification (media corruption)."""
+
+
+class SimulatedCrash(ReproError):
+    """A fault plan's crash point fired (process death / power loss).
+
+    Deliberately *not* a :class:`StorageError`: nothing in the library
+    catches it, so it unwinds like a real crash would.  Tests catch it at
+    the workload boundary and then exercise recovery.
+    """
+
+
 class PageError(ReproError):
     """A slotted page operation failed (overflow, bad slot, corruption)."""
 

@@ -14,6 +14,12 @@ from repro.storage.device import (
     DeviceProfile,
 )
 from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import (
+    FaultPlan,
+    FaultyDevice,
+    crash_point,
+    use_fault_plan,
+)
 from repro.storage.file import SimFile, StorageVolume
 from repro.storage.iosched import (
     MERGE_CPU_PER_UPDATE,
@@ -37,6 +43,8 @@ __all__ = [
     "CpuMeter",
     "Device",
     "DeviceProfile",
+    "FaultPlan",
+    "FaultyDevice",
     "IOStats",
     "OverlapWindow",
     "SimClock",
@@ -46,5 +54,7 @@ __all__ = [
     "StorageVolume",
     "TimeBreakdown",
     "combine_serial",
+    "crash_point",
     "measure",
+    "use_fault_plan",
 ]

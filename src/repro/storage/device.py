@@ -21,7 +21,7 @@ import threading
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.errors import StorageError
+from repro.errors import DeviceBoundsError
 from repro.obs.registry import get_registry
 from repro.storage.clock import SimClock
 from repro.storage.stats import IOStats
@@ -140,7 +140,7 @@ class BlockStore:
 
     def _check_range(self, offset: int, size: int) -> None:
         if offset < 0 or size < 0 or offset + size > self.capacity:
-            raise StorageError(
+            raise DeviceBoundsError(
                 f"access [{offset}, {offset + size}) outside device "
                 f"capacity {self.capacity}"
             )

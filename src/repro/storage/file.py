@@ -11,10 +11,11 @@ file populations this library creates (tables, sorted runs, logs).
 from __future__ import annotations
 
 import threading
-from typing import Iterator
+from typing import Iterator, Optional
 
-from repro.errors import OutOfSpaceError, StorageError
+from repro.errors import DuplicateFileError, OutOfSpaceError, StorageError
 from repro.storage.device import Device
+from repro.storage.iosched import DEFAULT_RETRY_POLICY, RetryPolicy
 
 
 class SimFile:
@@ -54,22 +55,41 @@ class SimFile:
                 f"outside size {self.size}"
             )
 
+    def _retry(self, operation):
+        policy = self._volume.retry_policy
+        if policy is None:
+            return operation()
+        return policy.call(operation, clock=self.device.clock)
+
     def read(self, offset: int, size: int) -> bytes:
         self._check(offset, size)
-        return self.device.read(self.offset + offset, size)
+        return self._retry(lambda: self.device.read(self.offset + offset, size))
 
     def write(self, offset: int, data: bytes) -> None:
         self._check(offset, len(data))
-        self.device.write(self.offset + offset, data)
+        self._retry(lambda: self.device.write(self.offset + offset, data))
         self._append_pos = max(self._append_pos, offset + len(data))
 
     def append(self, data: bytes) -> int:
         """Write at the append cursor; returns the file offset written at."""
         at = self._append_pos
         self._check(at, len(data))
-        self.device.write(self.offset + at, data)
+        self._retry(lambda: self.device.write(self.offset + at, data))
         self._append_pos = at + len(data)
         return at
+
+    def seek_append(self, pos: int) -> None:
+        """Reposition the append cursor.
+
+        Used after crash recovery: the cursor is volatile, so a reopened
+        log scans its contents and then seeks past the surviving records —
+        otherwise fresh appends would overwrite them.
+        """
+        if pos < 0 or pos > self.size:
+            raise StorageError(
+                f"file {self.name!r}: append cursor {pos} outside size {self.size}"
+            )
+        self._append_pos = pos
 
     def read_batch(self, requests: list[tuple[int, int]]) -> list[bytes]:
         """Batched (asynchronously overlapped) reads, where supported."""
@@ -78,8 +98,11 @@ class SimFile:
         absolute = [(self.offset + offset, size) for offset, size in requests]
         batch = getattr(self.device, "read_batch", None)
         if batch is not None:
-            return batch(absolute)
-        return [self.device.read(offset, size) for offset, size in absolute]
+            return self._retry(lambda: batch(absolute))
+        return [
+            self._retry(lambda o=offset, s=size: self.device.read(o, s))
+            for offset, size in absolute
+        ]
 
     def peek(self, offset: int, size: int) -> bytes:
         """Read without charging simulated time (recovery inspection)."""
@@ -91,10 +114,22 @@ class SimFile:
 
 
 class StorageVolume:
-    """Allocates named contiguous files on one simulated device."""
+    """Allocates named contiguous files on one simulated device.
 
-    def __init__(self, device: Device) -> None:
+    Every file I/O runs under the volume's ``retry_policy`` (the shared
+    :data:`~repro.storage.iosched.DEFAULT_RETRY_POLICY` unless overridden),
+    so transient device faults are absorbed with bounded, clock-charged
+    retries at one central choke point instead of per caller.  Pass
+    ``retry_policy=None`` to let transient errors surface immediately.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+    ) -> None:
         self.device = device
+        self.retry_policy = retry_policy
         self._files: dict[str, SimFile] = {}
         # Free extents as sorted (offset, size) pairs covering unused space.
         self._free: list[tuple[int, int]] = [(0, device.capacity)]
@@ -107,7 +142,9 @@ class StorageVolume:
             raise StorageError(f"file size must be positive, got {size}")
         with self._lock:
             if name in self._files:
-                raise StorageError(f"file {name!r} already exists")
+                raise DuplicateFileError(
+                    f"file {name!r} already exists on {self.device.name}"
+                )
             for i, (offset, extent) in enumerate(self._free):
                 if extent >= size:
                     remainder = extent - size

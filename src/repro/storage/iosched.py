@@ -21,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from repro.errors import TransientIOError
 from repro.obs.registry import get_registry
 from repro.obs.tracing import trace
+from repro.storage.clock import SimClock
 from repro.storage.device import Device
 from repro.storage.stats import IOStats
 
@@ -56,6 +58,64 @@ class CpuMeter:
 
     def snapshot(self) -> float:
         return self.total
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient I/O failures.
+
+    Real I/O schedulers reissue commands that fail transiently (bus resets,
+    timeouts) before surfacing an error; the simulated stack does the same so
+    a :class:`~repro.errors.TransientIOError` injected by a fault plan is
+    invisible to correctness — only to latency.  Backoff is charged to the
+    :class:`SimClock`, so retries show up in measured elapsed times.
+
+    Only ``TransientIOError`` is retried.  Persistent damage — above all
+    :class:`~repro.errors.ChecksumError` — is **never** retried: the stored
+    bytes will not improve on a second read, and re-reading corrupt media
+    would only delay quarantine and fallback.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_backoff: float = 0.5e-3,
+        backoff_multiplier: float = 2.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_backoff < 0:
+            raise ValueError(f"base_backoff must be >= 0, got {base_backoff}")
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.backoff_multiplier = backoff_multiplier
+
+    def call(self, operation, clock: Optional[SimClock] = None):
+        """Run ``operation`` with retries; returns its result.
+
+        Re-raises the last :class:`TransientIOError` once ``max_attempts``
+        are exhausted.  Every other exception propagates immediately.
+        """
+        backoff = self.base_backoff
+        for attempt in range(self.max_attempts):
+            try:
+                return operation()
+            except TransientIOError:
+                registry = get_registry()
+                if attempt + 1 >= self.max_attempts:
+                    registry.counter("iosched.retries_exhausted").add(1)
+                    raise
+                registry.counter("iosched.retries").add(1)
+                if clock is not None and backoff > 0:
+                    registry.counter("iosched.backoff_seconds").add(backoff)
+                    clock.advance(backoff)
+                backoff *= self.backoff_multiplier
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Policy used by every :class:`~repro.storage.file.StorageVolume` unless a
+#: caller provides its own.  Four attempts outlast any fault plan honouring
+#: the default ``max_consecutive_errors=2`` cap.
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 #: Default CPU cost to merge one cached update into the scan output stream.

@@ -10,8 +10,12 @@ The log therefore carries three record kinds:
 * ``MIGRATION_START`` / ``MIGRATION_END`` — bracketing records that let
   recovery redo an interrupted migration.
 
-Records are length-prefixed and appended sequentially; the log is itself a
-file on a simulated device, so logging I/O is accounted like everything else.
+Records are length-prefixed, CRC-protected and appended sequentially; the
+log is itself a file on a simulated device, so logging I/O is accounted like
+everything else.  The per-record CRC (covering the type byte and payload)
+lets recovery distinguish a torn tail — the last record lost to a crash
+mid-append, which is expected and safely skipped — from corruption earlier
+in the log, which is not.
 """
 
 from __future__ import annotations
@@ -24,9 +28,11 @@ from typing import Iterator, Optional
 from repro.core.update import UpdateCodec, UpdateRecord
 from repro.errors import RecoveryError
 from repro.obs import get_registry
+from repro.storage.checksum import checksum
+from repro.storage.faults import crash_point
 from repro.storage.file import SimFile
 
-_FRAME = struct.Struct("<IB")  # payload length, record type
+_FRAME = struct.Struct("<IBI")  # payload length, record type, crc
 
 
 class LogRecordType(IntEnum):
@@ -77,7 +83,9 @@ class RedoLog:
 
     # ---------------------------------------------------------------- writes
     def _append(self, rtype: LogRecordType, payload: bytes) -> None:
-        frame = _FRAME.pack(len(payload), int(rtype)) + payload
+        crc = checksum(bytes([int(rtype)]) + payload)
+        frame = _FRAME.pack(len(payload), int(rtype), crc) + payload
+        crash_point("wal.append")
         self.file.append(frame)
         self.records_written += 1
         self._obs_records.add(1)
@@ -116,7 +124,12 @@ class RedoLog:
 
         When the in-memory append cursor was lost with the crash, the log is
         scanned until the first invalid frame (unwritten space reads as
-        zeroes, which no valid frame starts with).
+        zeroes, which no valid frame starts with).  In that scan mode, a
+        *torn tail* — the final record partially persisted because the crash
+        interrupted the append — fails its CRC and is skipped with the
+        ``txn.log.torn_tail_skipped`` counter: the update it carried was
+        never acknowledged, so dropping it is correct.  A CRC mismatch
+        *before* a known end of log is real corruption and raises.
         """
         end = self.file.append_pos or self.file.size
         scanning = self.file.append_pos == 0
@@ -124,22 +137,44 @@ class RedoLog:
         while offset < end:
             if offset + _FRAME.size > end:
                 if scanning:
-                    return
+                    self._torn_tail(offset, "truncated frame header")
+                    break
                 raise RecoveryError("truncated log frame header")
             header = self.file.read(offset, _FRAME.size)
-            length, rtype_raw = _FRAME.unpack(header)
+            length, rtype_raw, stored_crc = _FRAME.unpack(header)
             if scanning and (rtype_raw == 0 or length == 0):
-                return  # end of written log
-            offset += _FRAME.size
-            if offset + length > end:
+                break  # end of written log
+            if offset + _FRAME.size + length > end:
+                if scanning:
+                    self._torn_tail(offset, "truncated payload")
+                    break
                 raise RecoveryError("truncated log record payload")
-            payload = self.file.read(offset, length)
-            offset += length
+            payload = self.file.read(offset + _FRAME.size, length)
+            if checksum(bytes([rtype_raw & 0xFF]) + payload) != stored_crc:
+                if scanning:
+                    self._torn_tail(offset, "checksum mismatch")
+                    break
+                raise RecoveryError(
+                    f"log record at offset {offset} failed checksum"
+                )
+            offset += _FRAME.size + length
             try:
                 rtype = LogRecordType(rtype_raw)
             except ValueError as exc:
                 raise RecoveryError(f"corrupt log record type {rtype_raw}") from exc
             yield self._decode(rtype, payload)
+        if scanning:
+            # The append cursor was lost with the crash; park it after the
+            # surviving records so fresh appends do not overwrite them.
+            self.file.seek_append(offset)
+
+    def _torn_tail(self, offset: int, reason: str) -> None:
+        """Count a torn tail record found while scanning after a crash.
+
+        Replay stops here: a record torn mid-append was never acknowledged
+        to any client, so skipping it loses nothing that was promised.
+        """
+        get_registry().counter("txn.log.torn_tail_skipped").add(1)
 
     def _decode(self, rtype: LogRecordType, payload: bytes) -> LogRecord:
         if rtype == LogRecordType.UPDATE:

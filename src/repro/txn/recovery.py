@@ -28,7 +28,7 @@ from repro.core.masm import MaSM, MaSMConfig
 from repro.core.sortedrun import load_run
 from repro.core.update import UpdateRecord
 from repro.engine.table import Table
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StorageError
 from repro.obs import get_registry, trace
 from repro.storage.file import StorageVolume
 from repro.txn.log import LogRecordType, RedoLog
@@ -44,6 +44,15 @@ class RecoveryReport:
     migrations_redone: int = 0
     leftover_runs_deleted: int = 0
     max_timestamp_seen: int = 0
+    #: Run files that failed checksum verification and were discarded.
+    corrupt_runs_discarded: int = 0
+    #: Intact run files with no covering RUN_FLUSH record (the crash hit
+    #: between the SSD write and the log append); their updates were
+    #: replayed into the buffer instead, so keeping the file would apply
+    #: them twice.
+    orphan_runs_discarded: int = 0
+    #: Fresh runs rebuilt from the redo log to replace discarded ones.
+    runs_rebuilt: int = 0
 
 
 def rebuild_table_index(table: Table) -> None:
@@ -110,27 +119,16 @@ def recover_masm(
     if rebuild_index:
         rebuild_table_index(table)
 
-    # ---- 1. reload run metadata from the SSD ------------------------------
-    pattern = re.compile(re.escape(masm.name) + r"-run-(\d+)$")
-    found: list[tuple[int, str]] = []
-    for file_name in ssd_volume:
-        match = pattern.match(file_name)
-        if match:
-            found.append((int(match.group(1)), file_name))
-    found.sort()
-    runs_by_name = {}
-    for seq, file_name in found:
-        run = load_run(
-            ssd_volume, file_name, masm.codec, block_size=masm.config.block_size
-        )
-        runs_by_name[file_name] = run
-        masm._run_seq = max(masm._run_seq, seq + 1)
-
-    # ---- 2/3. scan the log -------------------------------------------------
-    flushed_through = 0  # max update ts known to be in a run
+    # ---- 2/3. scan the log first -------------------------------------------
+    # The log is the source of truth about which run files *should* exist:
+    # it must be read before trusting any SSD state, so that orphan runs
+    # (written but never logged) and damaged runs can be told apart.
+    flushed_through = 0  # max update ts known to be in a logged run
+    migrated_ts = 0  # max ts applied in place by a completed full migration
     pending: list[UpdateRecord] = []
     open_migrations: dict[int, tuple[str, ...]] = {}
     completed_migrations: list[tuple[str, ...]] = []
+    full_range = (0, 2**63 - 1)
     with trace("txn.recover.replay"):
         for record in redo_log.records():
             report.max_timestamp_seen = max(
@@ -143,26 +141,97 @@ def recover_masm(
                 if record.table == table.name:
                     flushed_through = max(flushed_through, record.timestamp)
             elif record.type == LogRecordType.MIGRATION_START:
-                open_migrations[record.timestamp] = record.run_names or ()
+                open_migrations[record.timestamp] = (
+                    record.run_names or (),
+                    record.key_range,
+                )
             elif record.type == LogRecordType.MIGRATION_END:
-                names = open_migrations.pop(record.timestamp, None)
-                if names is None:
+                entry = open_migrations.pop(record.timestamp, None)
+                if entry is None:
                     raise RecoveryError(
                         f"migration end {record.timestamp} without a start record"
                     )
+                names, key_range = entry
                 completed_migrations.append(names)
+                if key_range is None or key_range == full_range:
+                    # A completed full migration applied every cached update
+                    # with ts <= its timestamp in place.
+                    migrated_ts = max(migrated_ts, record.timestamp)
+
+    # ---- 1. reload run metadata from the SSD, tolerating damage ------------
+    pattern = re.compile(re.escape(masm.name) + r"-run-(\d+)$")
+    found: list[tuple[int, str]] = []
+    for file_name in ssd_volume:
+        match = pattern.match(file_name)
+        if match:
+            found.append((int(match.group(1)), file_name))
+    found.sort()
+    runs_by_name = {}
+    damaged_names: list[str] = []
+    for seq, file_name in found:
+        masm._run_seq = max(masm._run_seq, seq + 1)
+        try:
+            run = load_run(
+                ssd_volume, file_name, masm.codec, block_size=masm.config.block_size
+            )
+        except (RecoveryError, StorageError):
+            # ChecksumError (bit rot, torn run write) or undecodable
+            # content: the file cannot be trusted; rebuild from the log.
+            damaged_names.append(file_name)
+            continue
+        runs_by_name[file_name] = run
 
     # Runs of completed migrations should be gone; delete leftovers (the
     # crash may have hit between the END record and the deletion).
     for names in completed_migrations:
         for run_name in names:
-            run = runs_by_name.pop(run_name, None)
-            if run is not None:
+            if runs_by_name.pop(run_name, None) is not None:
+                ssd_volume.delete(run_name)
+                report.leftover_runs_deleted += 1
+            elif run_name in damaged_names:
+                damaged_names.remove(run_name)
                 ssd_volume.delete(run_name)
                 report.leftover_runs_deleted += 1
 
+    # Orphan runs: written to the SSD but the crash hit before their
+    # RUN_FLUSH record was logged.  Their updates are replayed into the
+    # buffer below (every one has ts > flushed_through), so the file must
+    # go — keeping it would apply those updates twice.
+    for file_name, run in list(runs_by_name.items()):
+        if run.min_ts > flushed_through:
+            del runs_by_name[file_name]
+            ssd_volume.delete(file_name)
+            report.orphan_runs_discarded += 1
+
+    # Damaged files: drop them; their logged content is rebuilt below.
+    for file_name in damaged_names:
+        ssd_volume.delete(file_name)
+        report.corrupt_runs_discarded += 1
+
     masm.runs.extend(run for _name, run in sorted(runs_by_name.items()))
     report.runs_reloaded = len(masm.runs)
+
+    # ---- 1b. rebuild discarded logged content from the redo log ------------
+    # Every logged update with migrated_ts < ts <= flushed_through belongs
+    # in some run.  The intervals not covered by the intact runs are exactly
+    # what the damaged runs held; re-materialize each gap as a fresh run.
+    # (A damaged *orphan* needs no rebuild: its ts range is past
+    # flushed_through and replays into the buffer like any unflushed update.)
+    if damaged_names:
+        covered = sorted(
+            (run.covered_min_ts, run.covered_max_ts) for run in masm.runs
+        )
+        gaps = _uncovered_intervals(migrated_ts + 1, flushed_through, covered)
+        for gap_lo, gap_hi in gaps:
+            lost = [u for u in pending if gap_lo <= u.timestamp <= gap_hi]
+            if not lost:
+                continue
+            lost.sort(key=UpdateRecord.sort_key)
+            with trace("txn.recover.rebuild_run", updates=len(lost)):
+                rebuilt = masm._write_run(lost, passes=1)
+            rebuilt.covered_min_ts = gap_lo
+            rebuilt.covered_max_ts = gap_hi
+            report.runs_rebuilt += 1
 
     # ---- 2. rebuild the in-memory buffer ----------------------------------
     for update in pending:
@@ -190,9 +259,29 @@ def recover_masm(
         "buffer_updates_replayed",
         "migrations_redone",
         "leftover_runs_deleted",
+        "corrupt_runs_discarded",
+        "orphan_runs_discarded",
+        "runs_rebuilt",
     ):
         registry.counter(f"txn.recovery.{field_name}").add(
             getattr(report, field_name)
         )
 
     return masm, report
+
+
+def _uncovered_intervals(
+    lo: int, hi: int, covered: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """The sub-intervals of [lo, hi] not covered by ``covered`` (sorted)."""
+    gaps: list[tuple[int, int]] = []
+    cursor = lo
+    for c_lo, c_hi in covered:
+        if c_lo > cursor:
+            gaps.append((cursor, min(c_lo - 1, hi)))
+        cursor = max(cursor, c_hi + 1)
+        if cursor > hi:
+            break
+    if cursor <= hi:
+        gaps.append((cursor, hi))
+    return [g for g in gaps if g[0] <= g[1]]

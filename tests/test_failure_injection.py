@@ -128,6 +128,50 @@ def test_double_crash_during_redo():
     assert got == shadow
 
 
+@pytest.mark.parametrize("emit_count", [1, 400, 1200])
+def test_plan_driven_crash_mid_migration(emit_count):
+    """The same torn-migration scenario, but the crash comes from a fault
+    plan's named crash point instead of abandoning the iterator by hand."""
+    from repro.errors import SimulatedCrash
+    from repro.storage.faults import FaultPlan, use_fault_plan
+
+    masm, table, ssd_vol, log, config = build()
+    shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(1500)}
+    workload(masm, shadow, 500, seed=11)
+
+    plan = FaultPlan(seed=11).crash_at("migration.emit", occurrence=emit_count)
+    with use_fault_plan(plan):
+        with pytest.raises(SimulatedCrash):
+            for _ in CoordinatedMigration(masm, redo_log=log):
+                pass
+
+    recovered, report = crash_recover(table, ssd_vol, log, config)
+    assert report.migrations_redone == 1
+    got = {SCHEMA.key(r): r for r in recovered.range_scan(0, 2**62)}
+    assert got == shadow
+
+
+def test_plan_driven_crash_between_run_write_and_log():
+    """Crash exactly between the run write and its RUN_FLUSH record: the
+    orphan run must be discarded or its updates would apply twice."""
+    from repro.errors import SimulatedCrash
+    from repro.storage.faults import FaultPlan, use_fault_plan
+
+    masm, table, ssd_vol, log, config = build()
+    shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(1500)}
+    workload(masm, shadow, 400, seed=29)
+
+    plan = FaultPlan(seed=29).crash_at("masm.flush.run_written")
+    with use_fault_plan(plan):
+        with pytest.raises(SimulatedCrash):
+            masm.flush_buffer()
+
+    recovered, report = crash_recover(table, ssd_vol, log, config)
+    assert report.orphan_runs_discarded == 1
+    got = {SCHEMA.key(r): r for r in recovered.range_scan(0, 2**62)}
+    assert got == shadow
+
+
 def test_updates_after_recovery_continue_cleanly():
     masm, table, ssd_vol, log, config = build()
     shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(1500)}

@@ -89,6 +89,47 @@ def test_scan_mode_after_lost_cursor():
     ]
 
 
+def test_scan_mode_skips_torn_tail():
+    """A record half-persisted by a crash mid-append is skipped, counted,
+    and overwritten by the next append — earlier records are untouched."""
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()):
+        log = make_log()
+        good = UpdateRecord(1, 5, UpdateType.MODIFY, {"payload": "keep"})
+        torn = UpdateRecord(2, 6, UpdateType.MODIFY, {"payload": "torn"})
+        log.log_update("t", good)
+        start = log.file.append_pos
+        log.log_update("t", torn)
+        # Tear the final record: keep only the frame header plus a few
+        # payload bytes, as if the crash cut the append short (unwritten
+        # space reads back as zeroes).
+        end = log.file.append_pos
+        tear_at = start + 16
+        log.file.write(tear_at, b"\x00" * (end - tear_at))
+        log.file._append_pos = 0  # the cursor died with the process
+
+        survivors = list(log.records())
+        assert [r.update for r in survivors] == [good]
+        from repro.obs import get_registry
+
+        assert get_registry().counter("txn.log.torn_tail_skipped").value == 1
+        # The cursor now sits where the torn record began: appends reuse
+        # that space instead of leaving garbage in the middle of the log.
+        replacement = UpdateRecord(3, 7, UpdateType.DELETE, None)
+        log.log_update("t", replacement)
+        assert [r.update for r in log.records()] == [good, replacement]
+
+
+def test_cursored_mode_raises_on_corruption():
+    """With a live append cursor a bad CRC is corruption, not a torn tail."""
+    log = make_log()
+    log.log_update("t", UpdateRecord(1, 5, UpdateType.DELETE, None))
+    log.file.write(8, b"\xff")  # flip a payload byte under the CRC
+    with pytest.raises(RecoveryError, match="failed checksum"):
+        list(log.records())
+
+
 def test_empty_log():
     log = make_log()
     assert list(log.records()) == []

@@ -1,0 +1,76 @@
+"""Property: transient faults are invisible.
+
+A fault plan that injects *only* transient errors and latency spikes (no
+torn writes, no bit-flips, no crashes) must never change any answer: the
+retry policy absorbs every error, so a workload run under such a plan —
+including a crash/recover cycle in the middle — produces exactly the same
+scan results as the same workload run fault-free.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.storage.faults import FaultPlan
+
+from test_failure_injection import SCHEMA, build, crash_recover, workload
+from test_faults import build as build_faulty
+
+pytestmark = pytest.mark.faults
+
+
+def run_workload(masm, shadow, phases):
+    for steps, seed in phases:
+        workload(masm, shadow, steps, seed)
+
+
+def scan_dict(masm):
+    return {SCHEMA.key(r): r for r in masm.range_scan(0, 2**62)}
+
+
+@given(
+    plan_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    read_rate=st.floats(min_value=0.0, max_value=0.1),
+    write_rate=st.floats(min_value=0.0, max_value=0.1),
+    spike_rate=st.floats(min_value=0.0, max_value=0.05),
+    workload_seed=st.integers(min_value=0, max_value=1000),
+    steps=st.integers(min_value=50, max_value=250),
+)
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_transient_faults_never_change_answers(
+    plan_seed, read_rate, write_rate, spike_rate, workload_seed, steps
+):
+    with use_registry(MetricsRegistry()):
+        # Fault-free reference run.
+        clean, *_ = build()
+        clean_shadow = {i * 2: (i * 2, f"rec-{i}") for i in range(1500)}
+        workload(clean, clean_shadow, steps, seed=workload_seed)
+        clean.flush_buffer()
+        reference = scan_dict(clean)
+
+        # Same workload under a transient-only plan.
+        plan = FaultPlan(
+            seed=plan_seed,
+            read_error_rate=read_rate,
+            write_error_rate=write_rate,
+            latency_spike_rate=spike_rate,
+            latency_spike_seconds=1e-3,
+        )
+        masm, table, ssd_vol, log, config, shadow = build_faulty(plan)
+        workload(masm, shadow, steps, seed=workload_seed)
+        masm.flush_buffer()
+        assert shadow == clean_shadow
+        assert scan_dict(masm) == reference
+
+        # Recovery under the same plan is just as unaffected.
+        masm, _report = crash_recover(table, ssd_vol, log, config)
+        assert scan_dict(masm) == reference
+
+        # Nothing was ever corrupted, so a scrub finds every block intact.
+        # (A batch read *can* exhaust its retries under a hostile enough
+        # plan and route one scan through the log fallback — that is the
+        # designed degradation and still answered correctly above — but
+        # the stored bytes themselves are always clean.)
+        for run in masm.runs:
+            assert run.verify_blocks() == []
