@@ -37,11 +37,14 @@ from repro.baselines import (
     LSMUpdateCache,
 )
 from repro.core import (
+    GovernorConfig,
+    LoadGovernor,
     MaSM,
     MaSMConfig,
     MaSMStats,
     MaterializedSortedRun,
     MigrationStats,
+    OverloadPolicy,
     UpdateRecord,
     UpdateType,
     migrate_all,
@@ -51,6 +54,7 @@ from repro.engine import Schema, SlottedPage, synthetic_schema
 from repro.engine.columnstore import ColumnTable
 from repro.engine.table import Table
 from repro.errors import (
+    BackpressureError,
     ChecksumError,
     ReproError,
     SimulatedCrash,
@@ -82,11 +86,15 @@ __all__ = [
     "GB",
     "KB",
     "MB",
+    "BackpressureError",
     "ColumnTable",
     "ChecksumError",
     "CpuMeter",
     "FaultPlan",
     "FaultyDevice",
+    "GovernorConfig",
+    "LoadGovernor",
+    "OverloadPolicy",
     "IndexedUpdates",
     "InMemoryDifferential",
     "InPlaceUpdater",

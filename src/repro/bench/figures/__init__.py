@@ -24,6 +24,7 @@ from repro.bench.figures import (
     fig13_cpu_cost,
     fig14_tpch_replay,
     hdd_cache,
+    latency_stability,
     lsm_write_amplification,
     theorem_writes,
 )
@@ -55,6 +56,7 @@ ALL_DRIVERS = {
         "figure-13": fig13_cpu_cost.run,
         "figure-14": fig14_tpch_replay.run,
         "hdd-cache": hdd_cache.run,
+        "latency-stability": latency_stability.run,
         "lsm-write-amplification": lsm_write_amplification.run,
         "theorem-writes": theorem_writes.run,
         "ablation-materialization": ablations.run_materialization,

@@ -107,6 +107,17 @@ def build_rig(
     )
 
 
+def safe_rate(count: float, elapsed: float) -> float:
+    """``count / elapsed`` guarded against zero simulated elapsed time.
+
+    Tiny ``--scale`` smoke runs can complete a measured section in zero
+    simulated seconds (everything in cache, no device I/O), so rate
+    computations clamp the denominator to one picosecond and report a
+    large-but-finite rate instead of raising ``ZeroDivisionError``.
+    """
+    return count / max(elapsed, 1e-12)
+
+
 def clamped_alpha(cache_bytes: int, alpha: float, page: int = SSD_PAGE) -> float:
     """Raise alpha to its Section 3.4 lower bound when a scaled-down cache
     makes M too small for the requested value (alpha >= 2/cbrt(M))."""

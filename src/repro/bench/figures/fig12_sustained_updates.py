@@ -15,7 +15,13 @@ from __future__ import annotations
 import random
 
 from repro.baselines.inplace import InPlaceUpdater
-from repro.bench.figures.common import COARSE_BLOCK, SSD_PAGE, build_rig, clamped_alpha
+from repro.bench.figures.common import (
+    COARSE_BLOCK,
+    SSD_PAGE,
+    build_rig,
+    clamped_alpha,
+    safe_rate,
+)
 from repro.bench.harness import FigureResult
 from repro.core.masm import MaSM, MaSMConfig
 from repro.storage.iosched import OverlapWindow
@@ -40,7 +46,7 @@ def run(scale: float = 1.0, seed: int = 5) -> FigureResult:
         for _ in range(n):
             offset = rng.randrange(0, rig.disk.capacity - 4096)
             rig.disk.write(offset, b"w" * 4096)
-    result.add_row("random writes", **{"updates/sec": n / window.elapsed})
+    result.add_row("random writes", **{"updates/sec": safe_rate(n, window.elapsed)})
 
     # --- conventional in-place updates --------------------------------------
     rig = build_rig(scale=scale, seed=seed)
@@ -55,7 +61,9 @@ def run(scale: float = 1.0, seed: int = 5) -> FigureResult:
     with window:
         for update in generator.stream(n):
             updater.apply(update, lenient=True)
-    result.add_row("in-place updates", **{"updates/sec": n / window.elapsed})
+    result.add_row(
+        "in-place updates", **{"updates/sec": safe_rate(n, window.elapsed)}
+    )
 
     # --- MaSM at three cache sizes ------------------------------------------
     base_cache = None
@@ -85,7 +93,7 @@ def run(scale: float = 1.0, seed: int = 5) -> FigureResult:
             while masm.stats.migrations < target_migrations:
                 masm.apply(generator.next_update())
                 applied += 1
-        rate = applied / window.elapsed
+        rate = safe_rate(applied, window.elapsed)
         label = f"MaSM {fmt_bytes(cache)} cache"
         result.add_row(label, **{"updates/sec": rate})
         if base_cache is None:

@@ -6,6 +6,13 @@ migration in :mod:`repro.core.migration`, and the closed-form models of the
 paper in :mod:`repro.core.theory`.
 """
 
+from repro.core.governor import (
+    GovernorConfig,
+    LoadGovernor,
+    OverloadPolicy,
+    PacingController,
+    TokenBucket,
+)
 from repro.core.masm import (
     MaSM,
     MaSMConfig,
@@ -48,7 +55,12 @@ __all__ = [
     "FINE_GRANULARITY",
     "BufferFlushed",
     "DecodedBlockCache",
+    "GovernorConfig",
     "InMemoryUpdateBuffer",
+    "LoadGovernor",
+    "OverloadPolicy",
+    "PacingController",
+    "TokenBucket",
     "LazyMaterializedView",
     "MaSM",
     "MultiOrderTable",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.core.blockcache import DEFAULT_CACHE_BLOCKS, DecodedBlockCache
+from repro.core.governor import GovernorConfig, LoadGovernor, OverloadPolicy
 from repro.core.membuffer import InMemoryUpdateBuffer
 from repro.obs import get_registry, trace
 from repro.core.operators import (
@@ -73,6 +74,32 @@ class MaSMConfig:
     #: and concurrent scans hit instead of re-reading/re-decoding the SSD.
     #: 0 disables the cache.
     decoded_cache_blocks: int = DEFAULT_CACHE_BLOCKS
+    #: Overload governance (admission control + paced incremental migration,
+    #: see :mod:`repro.core.governor`).  Setting either field attaches a
+    #: :class:`LoadGovernor` to the engine; ``overload_policy`` alone uses
+    #: default watermarks/pacing, ``governor`` carries the full tuning.
+    #: ``None``/``None`` (the default) leaves the engine ungoverned: the
+    #: legacy stop-the-world flush-time migration and
+    #: ``UpdateCacheFullError`` behaviour are preserved exactly.
+    overload_policy: Optional[OverloadPolicy] = None
+    governor: Optional[GovernorConfig] = None
+
+    def governor_config(self) -> Optional[GovernorConfig]:
+        """The effective governor tuning, or None when ungoverned."""
+        if self.governor is not None:
+            if (
+                self.overload_policy is not None
+                and self.governor.overload_policy is not self.overload_policy
+            ):
+                import dataclasses
+
+                return dataclasses.replace(
+                    self.governor, overload_policy=self.overload_policy
+                )
+            return self.governor
+        if self.overload_policy is not None:
+            return GovernorConfig(overload_policy=self.overload_policy)
+        return None
 
 
 @dataclass
@@ -258,6 +285,10 @@ class MaSM:
             table.schema, capacity_bytes=self.params.update_pages * page
         )
         self.runs: list[MaterializedSortedRun] = []  # creation order
+        #: Bumped on every mutation of ``runs`` so hot paths (the governor's
+        #: per-apply admission check) can cache the run-bytes total instead
+        #: of re-summing under the lock on every update.
+        self.runs_version = 0
         self._runs_by_flush_epoch: dict[int, MaterializedSortedRun] = {}
         self.stats = MaSMStats(scope=self.name)
         self.block_cache: Optional[DecodedBlockCache] = (
@@ -275,6 +306,11 @@ class MaSM:
         #: Commit timestamp of the newest ingested update (freshness marker
         #: for lazily maintained views, Section 5).
         self.last_update_ts = 0
+        #: Overload governance (None = ungoverned legacy behaviour).
+        governor_config = self.config.governor_config()
+        self.governor: Optional[LoadGovernor] = (
+            LoadGovernor(self, governor_config) if governor_config is not None else None
+        )
 
     def attach_log(self, redo_log) -> None:
         """Enable write-ahead logging of incoming updates (Section 3.6).
@@ -302,10 +338,20 @@ class MaSM:
 
     @property
     def memory_bytes(self) -> int:
-        """Allocated memory: alpha*M pages plus the in-memory run indexes."""
+        """Allocated memory: alpha*M pages plus the in-memory run indexes.
+
+        Buffer capacity stolen beyond the S update pages comes out of the
+        idle query pages, so it stays inside the alpha*M budget and is only
+        *extra* allocation if a scan needs those pages back — which
+        :meth:`range_scan` prevents by shrinking the buffer before pinning
+        them.  Any stolen capacity above the total budget (a bug, guarded
+        by tests) is surfaced here rather than hidden.
+        """
         with self._lock:
             indexes = sum(run.index.memory_bytes for run in self.runs)
-        return self.params.total_memory_pages * self.ssd_page_size + indexes
+            budget = self.params.total_memory_pages * self.ssd_page_size
+            overage = max(0, self.buffer.capacity_bytes - budget)
+        return budget + overage + indexes
 
     @property
     def one_pass_runs(self) -> int:
@@ -348,7 +394,17 @@ class MaSM:
         return ts
 
     def apply(self, update: UpdateRecord) -> None:
-        """Ingest a well-formed update that already has a timestamp."""
+        """Ingest a well-formed update that already has a timestamp.
+
+        With a governor attached, admission control runs first: the update
+        may be delayed (bounded, charged to the SimClock), shed (typed
+        :class:`~repro.errors.BackpressureError`, before anything is
+        logged), or admitted after the caller pays a migration slice —
+        depending on the configured :class:`OverloadPolicy`.  An update
+        that passes admission is never dropped.
+        """
+        if self.governor is not None:
+            self.governor.admit(update)
         with self._lock:
             if self.redo_log is not None:
                 self.redo_log.log_update(self.table.name, update)
@@ -376,6 +432,11 @@ class MaSM:
             if self.buffer.count == 0:
                 return None
             with trace("masm.flush", count=self.buffer.count):
+                # Encoded size of everything about to land in the cache;
+                # captured before the drain resets the buffer's accounting.
+                # (An upper bound when duplicate-merging shrinks the flush —
+                # conservative for the governor's room-making.)
+                buffered_bytes = self.buffer.used_bytes
                 updates = self.buffer.drain_sorted()
                 flush_epoch = self.buffer.flush_epoch
                 # Raw (pre-duplicate-merge) timestamp span: the log-replay
@@ -388,10 +449,15 @@ class MaSM:
                 )
                 if self.config.merge_duplicates_on_flush:
                     updates = self._merge_duplicates(updates)
-                # Migrate first if this flush would push the cache past the
-                # threshold ("updates reach a certain threshold of the SSD
-                # size").
-                if self.config.auto_migrate and self.runs:
+                if self.governor is not None:
+                    # Governed path: paced incremental migration frees the
+                    # space this flush needs — bounded slices instead of the
+                    # stop-the-world migrate-everything below.
+                    self.governor.make_room(buffered_bytes)
+                elif self.config.auto_migrate and self.runs:
+                    # Migrate first if this flush would push the cache past
+                    # the threshold ("updates reach a certain threshold of
+                    # the SSD size").
                     projected = self.cached_run_bytes + sum(
                         self.codec.encoded_size(u) for u in updates
                     )
@@ -475,6 +541,7 @@ class MaSM:
         except OutOfSpaceError as exc:
             raise UpdateCacheFullError(str(exc)) from exc
         self.runs.append(run)
+        self.runs_version += 1
         self.stats.runs_created += 1
         self.stats.updates_written_to_ssd += run.count
         return run
@@ -525,6 +592,7 @@ class MaSM:
                 for victim in victims:
                     self.runs.remove(victim)
                     self._delete_run(victim)
+                self.runs_version += 1
                 self.stats.runs_merged += len(victims)
                 return run
 
@@ -544,6 +612,16 @@ class MaSM:
             # Flush a too-full buffer before the scan pins query pages.
             if self.buffer.pages_used(self.ssd_page_size) >= self.params.update_pages:
                 self.flush_buffer()
+            elif (
+                self.buffer.capacity_bytes
+                > self.params.update_pages * self.ssd_page_size
+            ):
+                # The buffer stole query pages while no scan ran; this scan
+                # needs them back.  The buffered bytes still fit in S pages
+                # (checked above), so shrink instead of flushing.
+                self.buffer.shrink_capacity(
+                    self.params.update_pages * self.ssd_page_size
+                )
             self._ensure_run_budget()
             if query_ts is None:
                 query_ts = self.oracle.next()
@@ -579,6 +657,8 @@ class MaSM:
                 with self._lock:
                     self._active_scans.pop(scan_id, None)
                     self._gc_graveyard()
+                if self.governor is not None:
+                    self.governor.on_scan_end()
 
         return stream()
 
@@ -739,6 +819,8 @@ class MaSM:
                 else:
                     migrate_all(self, redo_log=self.redo_log)
                 self.stats.migrations += 1
+            if self.governor is not None:
+                self.governor.on_full_migration()
 
     def retire_runs(
         self, runs: list[MaterializedSortedRun], barrier_ts: Optional[int] = None
@@ -754,6 +836,7 @@ class MaSM:
                 if run not in self.runs:
                     continue
                 self.runs.remove(run)
+                self.runs_version += 1
                 oldest = self.oldest_active_query_ts()
                 if barrier_ts is not None and oldest is not None and oldest < barrier_ts:
                     self._graveyard.append((run, barrier_ts))

@@ -86,6 +86,22 @@ class InMemoryUpdateBuffer:
                 if update.sort_key() < self._entries[-2].sort_key():
                     self._sorted = False
 
+    def shrink_capacity(self, capacity_bytes: int) -> None:
+        """Give back stolen pages: reduce capacity without touching data.
+
+        Used when a scan starts and the buffer must return the query pages
+        it borrowed while no scan was active (the MaSM-M page steal).  The
+        new capacity must still cover the buffered bytes — callers flush
+        first when it would not.
+        """
+        with self._latch:
+            if capacity_bytes < self._bytes:
+                raise ValueError(
+                    f"cannot shrink capacity to {capacity_bytes} below "
+                    f"{self._bytes} buffered bytes (flush first)"
+                )
+            self.capacity_bytes = capacity_bytes
+
     def sort(self) -> None:
         """Sort into (key, timestamp) order; bumps the sort epoch if reordered."""
         with self._latch:

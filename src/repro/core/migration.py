@@ -281,6 +281,8 @@ class CoordinatedMigration:
             masm.retire_runs(runs, barrier_ts=t)
             stats.runs_retired = len(runs)
             masm.stats.migrations += 1
+            if masm.governor is not None:
+                masm.governor.on_full_migration()
         stats.publish("coordinated")
         self.stats = stats
 
@@ -297,12 +299,21 @@ def migrate_range(
     """
     table = masm.table
     schema = table.schema
+    if table.index.is_empty:
+        return None
+    # The timestamp rule is page-granular: a page's timestamp asserts that
+    # every cached update for the page's whole key span up to that time is
+    # applied.  A range that split a page's span would stamp the page while
+    # leaving out-of-range updates for the same page cached — and a later
+    # migration would wrongly skip them as already applied.  Expand the
+    # requested range outward to whole page spans so that can never happen.
+    begin_key, end_key = _align_to_page_spans(table, begin_key, end_key)
     runs = [
         run
         for run in masm.runs
         if run.min_key <= end_key and run.max_key >= begin_key
     ]
-    if not runs or table.index.is_empty:
+    if not runs:
         return None
     t = masm.oracle.next()
     if redo_log is not None:
@@ -332,7 +343,24 @@ def migrate_range(
                 update = next(updates, None)
             page = heap.read_page(page_no)
             stats.pages_read += 1
+            # Same crash-point site as the full rewrite's ``emit``: fires
+            # once per page about to be rewritten, so a plan can kill a
+            # paced migration slice mid-flight (START logged, END not).
+            crash_point("migration.emit")
             applied, delta = _apply_to_page(page, page_updates, schema)
+            if applied is None and page_no == heap.num_pages - 1:
+                # The physically-last page owns the open-ended tail of the
+                # key space, so append-heavy floods concentrate there and
+                # can never fit in place.  Because it is physically last it
+                # can be split into appended pages without breaking the
+                # page-order == key-order clustering invariant.
+                split = _split_tail_page(table, page_no, page, page_updates)
+                if split is not None:
+                    written, delta = split
+                    stats.pages_written += written
+                    stats.updates_applied += len(page_updates)
+                    row_delta += delta
+                    continue
             if applied is None:
                 failed_spans.append(page_span)
                 stats.inserts_deferred += sum(
@@ -362,6 +390,106 @@ def migrate_range(
         stats.runs_retired = len(fully_retired)
     stats.publish("range")
     return stats
+
+
+def _split_tail_page(
+    table, page_no: int, page: SlottedPage, updates: list[UpdateRecord]
+) -> Optional[tuple[int, int]]:
+    """Split the last heap page so its updates fit; (pages_written, delta).
+
+    Merges the page's records with ``updates`` and repacks the result into
+    one or more pages starting at ``page_no``.  Appended pages extend the
+    heap at its end, so clustering (physical page order == key order) is
+    preserved — this is only valid for the physically-last page.  Each new
+    page's timestamp is the newest update applied to it (carried-over
+    records keep the old page's timestamp), so the page-span rule stays
+    exact.  Returns None when the file extent cannot hold the split; the
+    caller then defers the page as usual.
+    """
+    heap = table.heap
+    schema = table.schema
+    base_ts = page.timestamp
+    merged: dict[int, tuple[tuple, int]] = {}
+    for _, data in page.records():
+        record = schema.unpack(data)
+        merged[schema.key(record)] = (record, base_ts)
+    delta = 0
+    for update in updates:
+        if update.timestamp <= base_ts:
+            continue  # already applied by an earlier (partial) migration
+        old = merged.get(update.key)
+        result = apply_update(None if old is None else old[0], update, schema)
+        if result is None:
+            if old is not None:
+                del merged[update.key]
+                delta -= 1
+        else:
+            if old is None:
+                delta += 1
+            merged[update.key] = (result, update.timestamp)
+    # Pack split pages half full: the tail is exactly where the next flood
+    # of appends lands, so leaving slack keeps later slices in place.
+    budget = (heap.page_size - 24) // 2
+    pages: list[tuple[int, SlottedPage]] = []
+    current = SlottedPage(heap.page_size)
+    used = 0
+    first_key: Optional[int] = None
+    for key in sorted(merged):
+        record, ts = merged[key]
+        data = schema.pack(record)
+        cost = len(data) + 8
+        if used > 0 and (used + cost > budget or not current.fits(len(data))):
+            pages.append((first_key if first_key is not None else 0, current))
+            current = SlottedPage(heap.page_size)
+            used = 0
+            first_key = None
+        current.insert(data)
+        current.timestamp = max(current.timestamp, ts)
+        used += cost
+        if first_key is None:
+            first_key = key
+    if used > 0 or not pages:
+        # An emptied tail page keeps its old first_key so the rebuilt index
+        # stays key-ordered.
+        empty_key = table.index.first_key_of(page_no)
+        pages.append((first_key if first_key is not None else empty_key, current))
+    if page_no + len(pages) > heap.capacity_pages:
+        return None
+    # Write the appended pages before overwriting the head page, and refresh
+    # the index only after every page is durable.
+    for offset in range(1, len(pages)):
+        heap.write_page(page_no + offset, pages[offset][1])
+    heap.write_page(page_no, pages[0][1])
+    entries = [e for e in table.index.entries() if e[1] != page_no]
+    entries.extend(
+        (key, page_no + offset) for offset, (key, _) in enumerate(pages)
+    )
+    table.index.rebuild(entries)
+    return len(pages), delta
+
+
+def _align_to_page_spans(
+    table, begin_key: int, end_key: int
+) -> tuple[int, int]:
+    """Expand ``[begin_key, end_key]`` to cover whole page key spans.
+
+    The last page's span is open-ended (it absorbs all larger keys), so an
+    end key landing there expands to the top of the key space.
+    """
+    from bisect import bisect_right
+
+    entries = table.index.entries()
+    if not entries:
+        return begin_key, end_key
+    starts = [first_key for first_key, _ in entries]
+    i = max(0, bisect_right(starts, begin_key) - 1)
+    begin_aligned = min(begin_key, entries[i][0])
+    j = max(0, bisect_right(starts, end_key) - 1)
+    if j + 1 < len(entries):
+        end_aligned = max(end_key, entries[j + 1][0] - 1)
+    else:
+        end_aligned = 2**63 - 1
+    return begin_aligned, end_aligned
 
 
 def _page_key_span(table, page_no: int, end_key: int) -> tuple[int, int]:

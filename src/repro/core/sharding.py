@@ -13,10 +13,12 @@ into one key-ordered stream.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
+from repro.core.governor import STATE_HIGH
 from repro.core.masm import MaSM, MaSMConfig
 from repro.engine.record import Schema
 from repro.engine.table import Table
@@ -94,7 +96,13 @@ class ShardedWarehouse:
                 records_per_node,
                 cpu=cpu,
             )
-            config = masm_config or MaSMConfig(alpha=1.2, auto_migrate=False)
+            # Copy the config per node: each node's MaSM builds its own
+            # LoadGovernor, so no governance state is shared across shards.
+            config = (
+                dataclasses.replace(masm_config)
+                if masm_config is not None
+                else MaSMConfig(alpha=1.2, auto_migrate=False)
+            )
             masm = MaSM(
                 table,
                 StorageVolume(ssd),
@@ -166,6 +174,37 @@ class ShardedWarehouse:
             node.masm.flush_buffer()
             if node.masm.runs:
                 node.masm.migrate()
+
+    def migrate_pressured(self, max_steps: Optional[int] = None) -> int:
+        """Run paced migration slices across governed nodes, hottest first.
+
+        Orders nodes by SSD-cache utilization (descending) and gives each
+        node above its high watermark one paced slice, up to ``max_steps``
+        slices total.  Returns the number of slices run.  Ungoverned nodes
+        are skipped — they keep the legacy flush-time migration.
+        """
+        governed = sorted(
+            (n for n in self.nodes if n.masm.governor is not None),
+            key=lambda n: n.masm.utilization,
+            reverse=True,
+        )
+        steps = 0
+        for node in governed:
+            if max_steps is not None and steps >= max_steps:
+                break
+            governor = node.masm.governor
+            if node.masm.runs and governor.watermark_state() >= STATE_HIGH:
+                if governor.migrate_step():
+                    steps += 1
+        return steps
+
+    def overload_report(self) -> list[dict]:
+        """Per-node governor snapshots (empty when nodes are ungoverned)."""
+        return [
+            node.masm.governor.report()
+            for node in self.nodes
+            if node.masm.governor is not None
+        ]
 
     # ------------------------------------------------------------- balance
     def cache_utilizations(self) -> list[float]:

@@ -64,8 +64,18 @@ class Table:
         heap = HeapFile(file, schema, page_size=page_size, io_chunk=io_chunk)
         return cls(name, schema, heap, cpu=cpu)
 
-    def bulk_load(self, records: Iterable[Sequence], timestamp: int = 0) -> None:
-        """Load key-ordered records and build the sparse index."""
+    def bulk_load(
+        self,
+        records: Iterable[Sequence],
+        timestamp: int = 0,
+        fill_factor: Optional[float] = None,
+    ) -> None:
+        """Load key-ordered records and build the sparse index.
+
+        ``fill_factor`` caps how full each page is packed (heap default when
+        None); loading below 1.0 leaves slack so later in-place migration can
+        absorb inserts without a heap rewrite.
+        """
         count = 0
 
         def counting() -> Iterator[Sequence]:
@@ -74,7 +84,8 @@ class Table:
                 count += 1
                 yield record
 
-        entries = self.heap.bulk_load(counting(), timestamp=timestamp)
+        kwargs = {} if fill_factor is None else {"fill_factor": fill_factor}
+        entries = self.heap.bulk_load(counting(), timestamp=timestamp, **kwargs)
         self.index.rebuild(entries)
         self.row_count = count
 

@@ -70,6 +70,15 @@ class UpdateCacheFullError(ReproError):
     """The SSD update cache is full and migration has not freed space."""
 
 
+class BackpressureError(ReproError):
+    """Admission control rejected an update under the SHED overload policy.
+
+    Raised *before* the update is logged or buffered, so a shed update is
+    never partially applied; every shed is counted on the governor's
+    ``shed`` counter.  Callers may retry later or route to a fallback.
+    """
+
+
 class TransactionError(ReproError):
     """A transaction violated the concurrency-control protocol."""
 

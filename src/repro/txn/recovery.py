@@ -209,6 +209,7 @@ def recover_masm(
         report.corrupt_runs_discarded += 1
 
     masm.runs.extend(run for _name, run in sorted(runs_by_name.items()))
+    masm.runs_version += 1
     report.runs_reloaded = len(masm.runs)
 
     # ---- 1b. rebuild discarded logged content from the redo log ------------

@@ -2,10 +2,13 @@
 replay of Section 4.3, and blktrace-style trace record/replay."""
 
 from repro.workloads.synthetic import (
+    ArrivalPhase,
+    FloodSchedule,
     SyntheticUpdateGenerator,
     UpdateMix,
     ZipfSampler,
     build_synthetic_table,
+    flood_stream,
     range_for_bytes,
 )
 from repro.workloads.tpch import (
@@ -23,6 +26,8 @@ __all__ = [
     "QUERY_IDS",
     "QUERY_SCANS",
     "SCHEMAS",
+    "ArrivalPhase",
+    "FloodSchedule",
     "SyntheticUpdateGenerator",
     "TPCHInstance",
     "TraceEvent",
@@ -30,6 +35,7 @@ __all__ = [
     "UpdateMix",
     "ZipfSampler",
     "build_synthetic_table",
+    "flood_stream",
     "generate_tpch",
     "interleave_traces",
     "range_for_bytes",

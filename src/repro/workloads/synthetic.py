@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from repro.core.update import UpdateRecord, UpdateType
 from repro.engine.record import Schema, synthetic_schema
@@ -168,6 +168,96 @@ class SyntheticUpdateGenerator:
         while count is None or produced < count:
             yield self.next_update()
             produced += 1
+
+
+@dataclass
+class ArrivalPhase:
+    """One constant-rate stretch of an arrival schedule."""
+
+    #: Updates per simulated second (must be > 0).
+    rate: float
+    #: Updates arriving during this phase.
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"phase rate must be > 0, got {self.rate}")
+        if self.count < 0:
+            raise ValueError(f"phase count must be >= 0, got {self.count}")
+
+    @property
+    def duration(self) -> float:
+        return self.count / self.rate
+
+
+class FloodSchedule:
+    """A piecewise-constant arrival schedule for overload experiments.
+
+    The governor experiments (Section 7.3 / Figure 12 flavour) need traffic
+    whose *arrival rate* is controlled relative to the engine's sustainable
+    migration rate — a steady trickle, a short burst at 10x, a sustained
+    2x flood.  A schedule is a list of :class:`ArrivalPhase`; iterate
+    :meth:`arrival_times` for the absolute simulated arrival instant of
+    every update.
+    """
+
+    def __init__(self, phases: Sequence[ArrivalPhase]) -> None:
+        if not phases:
+            raise ValueError("schedule needs at least one phase")
+        self.phases = list(phases)
+
+    @classmethod
+    def steady(cls, rate: float, count: int) -> "FloodSchedule":
+        """A single constant-rate phase."""
+        return cls([ArrivalPhase(rate, count)])
+
+    @classmethod
+    def burst(
+        cls,
+        base_rate: float,
+        burst_rate: float,
+        base_count: int,
+        burst_count: int,
+        cycles: int = 1,
+    ) -> "FloodSchedule":
+        """Alternating base-load and burst phases, ``cycles`` times over."""
+        phases: list[ArrivalPhase] = []
+        for _ in range(max(1, cycles)):
+            phases.append(ArrivalPhase(base_rate, base_count))
+            phases.append(ArrivalPhase(burst_rate, burst_count))
+        return cls(phases)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(phase.count for phase in self.phases)
+
+    @property
+    def duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    def arrival_times(self, start: float = 0.0) -> Iterator[float]:
+        """Absolute arrival instants, phase by phase."""
+        t = start
+        for phase in self.phases:
+            gap = 1.0 / phase.rate
+            for _ in range(phase.count):
+                t += gap
+                yield t
+
+
+def flood_stream(
+    generator: SyntheticUpdateGenerator,
+    schedule: FloodSchedule,
+    start: float = 0.0,
+) -> Iterator[tuple[float, UpdateRecord]]:
+    """Pair a well-formed update stream with scheduled arrival times.
+
+    Yields ``(arrival_time, update)``; the driver advances the shared
+    SimClock to each arrival time before calling ``masm.apply`` so that
+    admission control and backpressure read realistic inter-arrival gaps.
+    """
+    for arrival in schedule.arrival_times(start):
+        yield arrival, generator.next_update()
 
 
 def range_for_bytes(table: Table, size_bytes: int, rng: random.Random) -> tuple[int, int]:

@@ -18,6 +18,7 @@ FAST = {
     "figure-13": {"scale": 0.2},
     "figure-14": {"scale": 0.2},
     "hdd-cache": {"scale": 0.2, "repeats": 1},
+    "latency-stability": {"scale": 0.1, "flood_updates": 200},
     "lsm-write-amplification": {"scale": 0.2},
     "theorem-writes": {"scale": 0.2},
     "ablation-materialization": {"scale": 0.2, "queries": 2},

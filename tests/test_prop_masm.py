@@ -7,7 +7,9 @@ import string
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.governor import GovernorConfig, OverloadPolicy
 from repro.core.masm import MaSM, MaSMConfig
+from repro.errors import BackpressureError
 from repro.core.sortedrun import write_run
 from repro.core.update import UpdateCodec, UpdateRecord, UpdateType, apply_update, combine_chain
 from repro.engine.record import synthetic_schema
@@ -82,6 +84,95 @@ def test_masm_view_equals_model(ops):
             assert got == expected
     got = {SCHEMA.key(r): r for r in masm.range_scan(0, 10**9)}
     assert got == model
+
+
+# ------------------------------------------------------ governed admission
+def make_governed(policy, admit_rate, n=40):
+    """A small governed engine with a deliberately tight token bucket."""
+    disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    # Half-full pages + extent slack so paced in-place slices (which the
+    # governor may run inside admit()) have room to absorb inserts.
+    table = Table.create(disk_vol, "t", SCHEMA, n, slack=2.0)
+    table.bulk_load(((i * 2, f"rec-{i}") for i in range(n)), fill_factor=0.5)
+    config = MaSMConfig(
+        alpha=1.4,  # the 64 KB cache gives M=4, which needs alpha >= 1.26
+        ssd_page_size=4 * KB,
+        block_size=2 * KB,
+        cache_bytes=64 * KB,
+        auto_migrate=False,
+        governor=GovernorConfig(
+            overload_policy=policy,
+            admit_rate=admit_rate,
+            burst=4,
+            max_delay_seconds=0.01,
+            target_stall_seconds=0.005,
+        ),
+    )
+    return MaSM(table, ssd_vol, config=config)
+
+
+governed_ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "modify", "flush", "scan"]),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    policy=st.sampled_from(list(OverloadPolicy)),
+    admit_rate=st.sampled_from([50.0, 500.0, None]),
+    ops=governed_ops_strategy,
+)
+@settings(max_examples=25, deadline=None)
+def test_governed_scan_returns_exactly_admitted_updates(policy, admit_rate, ops):
+    """Under any overload policy and arrival pattern, a scan returns exactly
+    the *admitted* updates: sheds leave no trace, delays/sync slices lose
+    nothing, and paced migration inside admit() never perturbs the view."""
+    masm = make_governed(policy, admit_rate)
+    # Counters are scoped by engine name in the process-wide registry, so
+    # other suites' governors (same name) leak in: compare deltas.
+    base = masm.governor.report()
+    model = {i * 2: (i * 2, f"rec-{i}") for i in range(40)}
+    for kind, key_choice, tag in ops:
+        try:
+            if kind == "insert":
+                key = key_choice
+                if key in model:
+                    continue
+                masm.insert((key, f"p{tag}"))
+                model[key] = (key, f"p{tag}")
+            elif kind == "delete":
+                if not model:
+                    continue
+                key = sorted(model)[key_choice % len(model)]
+                masm.delete(key)
+                del model[key]
+            elif kind == "modify":
+                if not model:
+                    continue
+                key = sorted(model)[key_choice % len(model)]
+                masm.modify(key, {"payload": f"m{tag}"})
+                model[key] = (key, f"m{tag}")
+            elif kind == "flush":
+                masm.flush_buffer()
+            else:
+                lo = key_choice
+                got = {SCHEMA.key(r): r for r in masm.range_scan(lo, lo + 40)}
+                assert got == {k: v for k, v in model.items() if lo <= k <= lo + 40}
+        except BackpressureError:
+            # SHED refused the update before it touched the engine; the
+            # model must not record it either.
+            assert policy is OverloadPolicy.SHED
+    got = {SCHEMA.key(r): r for r in masm.range_scan(0, 10**9)}
+    assert got == model
+    report = masm.governor.report()
+    if policy is not OverloadPolicy.SHED:
+        assert report["shed"] == base["shed"]
 
 
 # --------------------------------------------------------- combine algebra
