@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import BackpressureError
 from repro.obs import get_registry, trace
+from repro.sim.hooks import interleave as sim_interleave
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.masm import MaSM
@@ -334,6 +335,7 @@ class LoadGovernor:
         way, an update that returns from here *is admitted* and will be
         visible to every later scan.
         """
+        sim_interleave("governor.admit")
         bucket = self.bucket
         if bucket is not None:
             with self._admit_lock:
@@ -423,6 +425,7 @@ class LoadGovernor:
         from bisect import bisect_right
 
         masm = self.masm
+        sim_interleave("governor.migrate_step")
         with masm._lock:
             span = self._key_span()
             if span is None:
@@ -477,6 +480,7 @@ class LoadGovernor:
         logged/crash-point-covered like any migration.
         """
         masm = self.masm
+        sim_interleave("governor.make_room")
         cfg = self.config
         cache = masm.cache_bytes
         budget = int(cache * cfg.critical_watermark)

@@ -44,6 +44,7 @@ from repro.core.update import (
 )
 from repro.engine.table import Table
 from repro.errors import OutOfSpaceError, UpdateCacheFullError
+from repro.sim.hooks import interleave as sim_interleave
 from repro.storage.faults import crash_point
 from repro.storage.file import StorageVolume
 from repro.storage.iosched import CpuMeter
@@ -403,6 +404,7 @@ class MaSM:
         depending on the configured :class:`OverloadPolicy`.  An update
         that passes admission is never dropped.
         """
+        sim_interleave("masm.apply")
         if self.governor is not None:
             self.governor.admit(update)
         with self._lock:
@@ -428,6 +430,7 @@ class MaSM:
     # --------------------------------------------------------------- flushes
     def flush_buffer(self) -> Optional[MaterializedSortedRun]:
         """Materialize the in-memory buffer as a 1-pass sorted run."""
+        sim_interleave("masm.flush")
         with self._lock:
             if self.buffer.count == 0:
                 return None
@@ -466,6 +469,7 @@ class MaSM:
                 run = self._write_run(updates, passes=1)
                 run.covered_min_ts = raw_min_ts
                 run.covered_max_ts = raw_max_ts
+                sim_interleave("masm.flush.run_written")
                 # The window a crash test cares most about: the run is
                 # durable on the SSD but its RUN_FLUSH record is not logged
                 # yet — recovery must detect and discard the orphan run.
@@ -507,21 +511,29 @@ class MaSM:
             merged.append(update)
         return merged
 
+    def _next_run_name(self) -> str:
+        name = f"{self.name}-run-{self._run_seq:05d}"
+        self._run_seq += 1
+        return name
+
     def _write_run(
         self,
         updates: list[UpdateRecord],
         passes: int,
         size_hint: Optional[int] = None,
         replacing_bytes: int = 0,
+        name: Optional[str] = None,
     ) -> MaterializedSortedRun:
         """Materialize ``updates`` as a run, enforcing the cache quota.
 
         ``replacing_bytes`` credits the size of runs this write supersedes
         (a 2-pass merge deletes its inputs right after), so merging near a
-        full cache does not trip the quota.
+        full cache does not trip the quota.  ``name`` lets a caller that
+        must *log* the run's name before materializing it (merges) allocate
+        the name up front via :meth:`_next_run_name`.
         """
-        name = f"{self.name}-run-{self._run_seq:05d}"
-        self._run_seq += 1
+        if name is None:
+            name = self._next_run_name()
         new_bytes = sum(self.codec.encoded_size(u) for u in updates)
         if self.cached_run_bytes - replacing_bytes + new_bytes > self.cache_bytes:
             raise UpdateCacheFullError(
@@ -564,6 +576,7 @@ class MaSM:
                 # bound exists precisely to make this unnecessary).
                 victims = self.runs[:2]
                 passes = max(r.passes for r in victims) + 1
+            sim_interleave("masm.merge_runs")
             with trace("masm.merge_runs", fan_in=len(victims), passes=passes):
                 # Fallback-aware sources: merging a quarantined victim
                 # replays its content from the redo log, so the merge also
@@ -581,17 +594,49 @@ class MaSM:
                 size_hint = (
                     sum(r.file.size for r in victims) + self.config.block_size
                 )
+                # Log the merge *before* writing the product, under the
+                # product's pre-allocated name: after a crash the product
+                # file's intact existence tells recovery whether the merge
+                # committed.  Any earlier crash leaves the victims — still
+                # on the SSD — as the authoritative copies; any later crash
+                # leaves victim files (e.g. parked in the graveyard for an
+                # active scan) that recovery must discard, because serving
+                # them alongside the product would apply every merged
+                # update twice.
+                name = self._next_run_name()
+                if self.redo_log is not None:
+                    self.redo_log.log_run_merge(
+                        self.oracle.current,
+                        name,
+                        [v.name for v in victims],
+                        covered_ts=(
+                            min(r.covered_min_ts for r in victims),
+                            max(r.covered_max_ts for r in victims),
+                        ),
+                    )
                 run = self._write_run(
                     list(merged_stream),
                     passes=passes,
                     size_hint=size_hint,
                     replacing_bytes=sum(r.size_bytes for r in victims),
+                    name=name,
                 )
                 run.covered_min_ts = min(r.covered_min_ts for r in victims)
                 run.covered_max_ts = max(r.covered_max_ts for r in victims)
+                # An active scan may have captured the victims in its run
+                # list at registration (or reach one via the Mem_scan
+                # flush-epoch handover): deleting their files now would rip
+                # pages out from under it.  Park them in the graveyard until
+                # every scan older than the merge has finished; without
+                # scans, delete immediately as before.
+                barrier_ts = self.oracle.current + 1
+                oldest = self.oldest_active_query_ts()
                 for victim in victims:
                     self.runs.remove(victim)
-                    self._delete_run(victim)
+                    if oldest is not None and oldest < barrier_ts:
+                        self._graveyard.append((victim, barrier_ts))
+                    else:
+                        self._delete_run(victim)
                 self.runs_version += 1
                 self.stats.runs_merged += len(victims)
                 return run
@@ -629,6 +674,11 @@ class MaSM:
             self._scan_seq += 1
             self._active_scans[scan_id] = query_ts
             runs = list(self.runs)
+            # The buffer generation this scan's snapshot belongs to: the
+            # MemScan below is built lazily, so it must learn the epoch of
+            # registration time, not of first-pull time.
+            mem_epoch = self.buffer.flush_epoch
+            sim_interleave("masm.scan.begin")
 
         def stream() -> Iterator[tuple]:
             try:
@@ -645,6 +695,7 @@ class MaSM:
                         run_for_flush=self._run_for_flush,
                         cache=self.block_cache,
                         stats=self.stats,
+                        flush_epoch=mem_epoch,
                     )
                 )
                 updates = MergeUpdates(update_sources, self.table.schema, cpu=self.cpu)
@@ -654,6 +705,7 @@ class MaSM:
                         data, updates, self.table.schema, cpu=self.cpu
                     )
             finally:
+                sim_interleave("masm.scan.end")
                 with self._lock:
                     self._active_scans.pop(scan_id, None)
                     self._gc_graveyard()
@@ -798,10 +850,27 @@ class MaSM:
         return report
 
     def _delete_run(self, run: MaterializedSortedRun) -> None:
-        """Delete a run's SSD file and drop its decoded blocks."""
-        self.ssd.delete(run.name)
+        """Delete a run's SSD file and drop its decoded blocks.
+
+        The flush-epoch map entry dies here — with the file — and not at
+        retirement: a graveyarded run must stay resolvable so an in-flight
+        scan's Mem_scan handover (which may fire after the run was retired)
+        still finds it.
+
+        Idempotent against the file being already gone: after a crash the
+        recovered engine owns the SSD and may have deleted this run as a
+        completed-migration leftover, while this (pre-crash) instance still
+        holds graveyard metadata that its surviving scans tear down late.
+        """
+        if run.name in self.ssd:
+            self.ssd.delete(run.name)
         if self.block_cache is not None:
             self.block_cache.invalidate_run(run.name)
+        self._runs_by_flush_epoch = {
+            epoch: kept
+            for epoch, kept in self._runs_by_flush_epoch.items()
+            if kept is not run
+        }
 
     # -------------------------------------------------------------- migration
     def attach_migrator(self, migrate_fn) -> None:
@@ -810,12 +879,23 @@ class MaSM:
 
     def migrate(self) -> None:
         """Migrate all cached updates back into the main data in place."""
-        from repro.core.migration import migrate_all
+        from repro.core.migration import migrate_all, migrate_range
 
+        sim_interleave("masm.migrate")
         with self._lock:
             with trace("masm.migrate", runs=len(self.runs)):
                 if self._migrate_hook is not None:
                     self._migrate_hook(self)
+                elif self._active_scans:
+                    # The full rewrite moves records across pages, which an
+                    # in-flight lazy scan (reading pages as it goes) would
+                    # see double or not at all.  Degrade to the page-RMW
+                    # range path over the whole key space: pages stay put,
+                    # the page-timestamp rule keeps concurrent scans exact,
+                    # and runs too new for the oldest scan stay cached.
+                    migrate_range(
+                        self, 0, 2**63 - 1, redo_log=self.redo_log
+                    )
                 else:
                     migrate_all(self, redo_log=self.redo_log)
                 self.stats.migrations += 1
@@ -831,6 +911,7 @@ class MaSM:
         ``barrier_ts`` might still read it (the migration thread's "wait for
         ongoing queries earlier than t" of Section 3.2).
         """
+        sim_interleave("masm.retire_runs")
         with self._lock:
             for run in runs:
                 if run not in self.runs:
@@ -842,11 +923,6 @@ class MaSM:
                     self._graveyard.append((run, barrier_ts))
                 else:
                     self._delete_run(run)
-            self._runs_by_flush_epoch = {
-                epoch: run
-                for epoch, run in self._runs_by_flush_epoch.items()
-                if run in self.runs
-            }
 
     def _gc_graveyard(self) -> None:
         """Delete retired runs once no scan older than their barrier remains."""

@@ -128,15 +128,27 @@ class InMemoryUpdateBuffer:
 
     # ------------------------------------------------------------------ reads
     def cursor(
-        self, begin_key: int, end_key: int, query_ts: int, batch_size: int = 64
+        self,
+        begin_key: int,
+        end_key: int,
+        query_ts: int,
+        batch_size: int = 64,
+        flush_epoch: Optional[int] = None,
     ) -> "BufferCursor":
         """A stable cursor over [begin_key, end_key] visible at ``query_ts``.
 
         ``batch_size`` is how many updates each latch acquisition grabs
         (Section 3.2: "Mem_scan retrieves multiple update records at a time
-        to reduce latching overhead").
+        to reduce latching overhead").  ``flush_epoch`` is the epoch the
+        cursor's visibility snapshot belongs to — the scan's registration
+        point, not cursor construction, which may happen arbitrarily later
+        (operators build lazily): a flush in between must still raise
+        :class:`BufferFlushed` or the drained updates would silently vanish
+        from the scan.
         """
-        return BufferCursor(self, begin_key, end_key, query_ts, batch_size)
+        return BufferCursor(
+            self, begin_key, end_key, query_ts, batch_size, flush_epoch
+        )
 
     def snapshot_range(
         self,
@@ -192,6 +204,7 @@ class BufferCursor:
         end_key: int,
         query_ts: int,
         batch_size: int = 64,
+        flush_epoch: Optional[int] = None,
     ) -> None:
         self.buffer = buffer
         self.begin_key = begin_key
@@ -201,7 +214,9 @@ class BufferCursor:
         self._last: Optional[tuple[int, int]] = None
         self._batch: list[UpdateRecord] = []
         self._batch_pos = 0
-        self._flush_epoch = buffer.flush_epoch
+        self._flush_epoch = (
+            flush_epoch if flush_epoch is not None else buffer.flush_epoch
+        )
         self._exhausted = False
 
     def __iter__(self) -> Iterator[UpdateRecord]:
@@ -220,7 +235,12 @@ class BufferCursor:
             )
             if flush_epoch != self._flush_epoch:
                 self._exhausted = True
-                raise BufferFlushed(flush_epoch)
+                # Hand over to the flush that drained *this cursor's*
+                # generation (epoch + 1).  Every update visible at the
+                # cursor's query timestamp was already buffered when that
+                # flush drained, so later flushes (epoch + 2, ...) can only
+                # contain updates this cursor must not see anyway.
+                raise BufferFlushed(self._flush_epoch + 1)
             if not batch:
                 self._exhausted = True
                 raise StopIteration

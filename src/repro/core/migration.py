@@ -26,6 +26,7 @@ from repro.engine.page import SlottedPage
 from repro.errors import StorageError
 from repro.obs import get_registry, trace
 from repro.storage.faults import crash_point
+from repro.sim.hooks import interleave as sim_interleave
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.masm import MaSM
@@ -68,6 +69,7 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
     runs = list(masm.runs)
     if not runs:
         return None
+    sim_interleave("migration.full")
     t = masm.oracle.next()
     if redo_log is not None:
         redo_log.log_migration_start(t, [run.name for run in runs])
@@ -171,6 +173,7 @@ def rewrite_heap_streaming(
         nonlocal current_used, current_first_key, rows
         # Crash-point site for plan-driven mid-migration crash tests: fires
         # once per output record, so occurrence=N dies after N records.
+        sim_interleave("migration.emit")
         crash_point("migration.emit")
         data = schema.pack(record)
         cost = len(data) + 8
@@ -258,6 +261,7 @@ class CoordinatedMigration:
             # Nothing cached: degrade to a plain fresh scan.
             yield from masm.range_scan(*table.full_key_range())
             return
+        sim_interleave("migration.coordinated")
         t = masm.oracle.next()
         if self.redo_log is not None:
             self.redo_log.log_migration_start(t, [run.name for run in runs])
@@ -308,13 +312,23 @@ def migrate_range(
     # migration would wrongly skip them as already applied.  Expand the
     # requested range outward to whole page spans so that can never happen.
     begin_key, end_key = _align_to_page_spans(table, begin_key, end_key)
+    # In-place application is invisible to a concurrent scan only when every
+    # applied update lies within the scan's snapshot (the page-timestamp
+    # rule then dedupes the run's copy).  A run holding updates *newer* than
+    # the oldest active query timestamp must stay cached until that query
+    # finishes — the non-blocking form of Section 3.2's "wait for ongoing
+    # queries earlier than t".
+    oldest_scan_ts = masm.oldest_active_query_ts()
     runs = [
         run
         for run in masm.runs
-        if run.min_key <= end_key and run.max_key >= begin_key
+        if run.min_key <= end_key
+        and run.max_key >= begin_key
+        and (oldest_scan_ts is None or run.max_ts <= oldest_scan_ts)
     ]
     if not runs:
         return None
+    sim_interleave("migration.slice")
     t = masm.oracle.next()
     if redo_log is not None:
         redo_log.log_migration_start(
@@ -343,12 +357,17 @@ def migrate_range(
                 update = next(updates, None)
             page = heap.read_page(page_no)
             stats.pages_read += 1
+            sim_interleave("migration.page")
             # Same crash-point site as the full rewrite's ``emit``: fires
             # once per page about to be rewritten, so a plan can kill a
             # paced migration slice mid-flight (START logged, END not).
             crash_point("migration.emit")
             applied, delta = _apply_to_page(page, page_updates, schema)
-            if applied is None and page_no == heap.num_pages - 1:
+            if (
+                applied is None
+                and page_no == heap.num_pages - 1
+                and not masm._active_scans
+            ):
                 # The physically-last page owns the open-ended tail of the
                 # key space, so append-heavy floods concentrate there and
                 # can never fit in place.  Because it is physically last it

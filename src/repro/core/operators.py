@@ -183,6 +183,7 @@ class MemScan:
         run_for_flush: Optional[Callable[[int], Optional[MaterializedSortedRun]]] = None,
         cache: Optional[DecodedBlockCache] = None,
         stats=None,
+        flush_epoch: Optional[int] = None,
     ) -> None:
         self.buffer = buffer
         self.begin_key = begin_key
@@ -191,9 +192,19 @@ class MemScan:
         self.run_for_flush = run_for_flush
         self.cache = cache
         self.stats = stats
+        #: Buffer flush epoch at scan registration.  The cursor below is
+        #: built lazily (first pull), so without this baseline a flush
+        #: between registration and first pull goes undetected and the
+        #: flushed updates silently disappear from the scan.
+        self.flush_epoch = flush_epoch
 
     def __iter__(self) -> Iterator[UpdateRecord]:
-        cursor = self.buffer.cursor(self.begin_key, self.end_key, self.query_ts)
+        cursor = self.buffer.cursor(
+            self.begin_key,
+            self.end_key,
+            self.query_ts,
+            flush_epoch=self.flush_epoch,
+        )
         while True:
             try:
                 update = next(cursor)

@@ -1,0 +1,57 @@
+"""Deterministic simulation testing (DST) for the MaSM engine.
+
+``repro.sim`` has two faces:
+
+* :mod:`repro.sim.hooks` — the ``interleave(site)`` no-op hooks engine code
+  calls at instrumented interleave points.  This is the only part imported
+  by ``repro.core``/``repro.txn``, so this ``__init__`` must stay light:
+  anything heavier is loaded lazily to avoid import cycles.
+* The simulator proper — :mod:`~repro.sim.scheduler`,
+  :mod:`~repro.sim.harness`, :mod:`~repro.sim.model`,
+  :mod:`~repro.sim.explorer`, :mod:`~repro.sim.shrink` — where every
+  schedule is a pure function of ``(seed, config)`` and every failure
+  replays exactly.  ``python -m repro.sim --seed N`` runs one.
+"""
+
+from repro.sim.hooks import (
+    active_context,
+    interleave,
+    simulation_active,
+)
+
+__all__ = [
+    "active_context",
+    "interleave",
+    "simulation_active",
+    # Lazily loaded (import cycles: they import repro.core, which imports
+    # repro.sim.hooks through this package):
+    "SimConfig",
+    "SimScheduler",
+    "Schedule",
+    "SimFailure",
+    "ModelTable",
+    "run_simulation",
+    "explore_crash_schedules",
+    "shrink_schedule",
+]
+
+_LAZY = {
+    "SimConfig": ("repro.sim.harness", "SimConfig"),
+    "run_simulation": ("repro.sim.harness", "run_simulation"),
+    "SimScheduler": ("repro.sim.scheduler", "SimScheduler"),
+    "Schedule": ("repro.sim.scheduler", "Schedule"),
+    "SimFailure": ("repro.sim.scheduler", "SimFailure"),
+    "ModelTable": ("repro.sim.model", "ModelTable"),
+    "explore_crash_schedules": ("repro.sim.explorer", "explore_crash_schedules"),
+    "shrink_schedule": ("repro.sim.shrink", "shrink_schedule"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

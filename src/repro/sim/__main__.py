@@ -1,0 +1,117 @@
+"""CLI entry point: ``python -m repro.sim --seed N``.
+
+Runs one deterministic simulation (or the crash-schedule explorer) and
+prints a byte-stable report: same seed, same output, every time — CI runs
+it twice and diffs.  ``--replay`` executes an explicit schedule (as printed
+in a failure message) instead of the seeded scheduler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.sim.explorer import DEFAULT_CRASH_SITES, explore_crash_schedules
+from repro.sim.harness import SimConfig, run_simulation
+from repro.sim.scheduler import Schedule, SimFailure
+from repro.sim.shrink import shrink_schedule
+
+SCENARIOS = {
+    "canonical": SimConfig.canonical,
+    "crasher": lambda: SimConfig.canonical().with_crasher(),
+    "txn": lambda: replace(SimConfig.canonical(), txn_writers=1),
+    "heavy": lambda: replace(
+        SimConfig.canonical(), updaters=2, scanners=2, update_ops=60
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Deterministic MaSM simulation: schedule = f(seed, config).",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default="canonical"
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="SCHEDULE",
+        help="comma-separated actor choices from a failure report",
+    )
+    parser.add_argument(
+        "--explore-crashes",
+        action="store_true",
+        help=f"sweep crash sites {DEFAULT_CRASH_SITES} over every prefix",
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        help="sample every Nth schedule prefix when exploring (default 1)",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on failure, delta-debug the schedule to a minimal reproducer",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    config = SCENARIOS[args.scenario]()
+
+    if args.explore_crashes:
+        report = explore_crash_schedules(
+            config, seed=args.seed, prefix_stride=args.stride
+        )
+        print(report.summary())
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(report.to_json() + "\n")
+        return 1 if report.failures else 0
+
+    schedule = Schedule.from_text(args.replay) if args.replay else None
+    try:
+        run = run_simulation(config, seed=args.seed, schedule=schedule)
+    except SimFailure as failure:
+        sys.stdout.write(str(failure) + "\n")
+        if args.shrink:
+            def fails(candidate: Schedule) -> bool:
+                try:
+                    run_simulation(config, seed=args.seed, schedule=candidate)
+                except SimFailure:
+                    return True
+                return False
+
+            minimal = shrink_schedule(failure.schedule, fails)
+            sys.stdout.write(
+                f"shrunk to {len(minimal.choices)} choices: "
+                f"{minimal.to_text()}\n"
+            )
+        return 1
+    sys.stdout.write(run.report.to_text())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "seed": run.report.seed,
+                    "verdict": run.report.verdict,
+                    "updates_acknowledged": run.report.updates_acknowledged,
+                    "final_records": run.report.final_records,
+                    "schedule": run.report.schedule.to_text(),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Actor coroutines for the deterministic simulator.
+
+Each actor is a generator: every ``yield`` is an operation boundary where
+the scheduler may interleave another actor.  Actors draw randomness only
+from their own ``random.Random(f"{seed}:{name}")`` stream (string seeding
+is ``PYTHONHASHSEED``-independent), and always reach the engine through
+``env.masm`` — never a captured reference — so they keep working across a
+crash+recover performed by another actor.
+
+The scanner actor is where the model oracle bites: it freezes a query
+timestamp, computes the expected snapshot from the model *before* pulling
+a single record, then checks the engine's output prefix after every batch.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import islice
+
+from repro.core.update import UpdateRecord, UpdateType
+from repro.sim.model import diff_states
+
+
+def updater(env, name: str, seed: int, ops: int):
+    """Issue ``ops`` randomized updates, one per step, model-acknowledged.
+
+    Workload validity: the engine treats a second INSERT for a live key as
+    a conflict, so inserts draw from currently-free keys only.  Keys
+    congruent to 3 (mod 4) are reserved for :func:`txn_writer` inserts —
+    a plain updater inserting one concurrently with an uncommitted staged
+    insert would be an application-level duplicate no isolation level can
+    referee.
+    """
+    rng = random.Random(f"{seed}:{name}")
+    universe = env.config.key_universe
+    for i in range(ops):
+        state = env.model.snapshot(2**62)
+        live = sorted(state)
+        free = [k for k in range(universe) if k not in state and k % 4 != 3]
+        roll = rng.random()
+        ts = env.masm.oracle.next()
+        if (roll < 0.35 or not live) and free:
+            key = rng.choice(free)
+            update = UpdateRecord(
+                ts, key, UpdateType.INSERT, (key, f"{name}-i{i}")
+            )
+        elif roll < 0.55 and live:
+            key = rng.choice(live)
+            update = UpdateRecord(ts, key, UpdateType.DELETE, None)
+        elif live:
+            key = rng.choice(live)
+            update = UpdateRecord(
+                ts, key, UpdateType.MODIFY, {"payload": f"{name}-m{i}"}
+            )
+        else:  # nothing live and nothing free: key space exhausted
+            return
+        env.issue_update(update)
+        yield
+
+
+def scanner(env, name: str, seed: int, scans: int, batch: int = 8):
+    """Run ``scans`` full-range scans, oracle-checked after every batch.
+
+    Each scan freezes its own query timestamp, so updates and migrations
+    interleaved mid-scan must not change what it yields.  A crash+recover
+    by another actor (``env.epoch`` bump) invalidates the open iterator —
+    the actor abandons that scan rather than read a torn-down engine.
+    """
+    rng = random.Random(f"{seed}:{name}")
+    lo, hi = 0, env.config.key_universe
+    for _ in range(scans):
+        epoch = env.epoch
+        query_ts = env.masm.oracle.next()
+        expected = env.model.snapshot_records(query_ts, lo, hi)
+        stream = env.masm.range_scan(lo, hi, query_ts=query_ts)
+        got: list[tuple] = []
+        yield  # scan registered; records not yet pulled
+        while True:
+            if env.epoch != epoch:
+                stream.close()
+                break
+            chunk = list(islice(stream, batch))
+            got.extend(chunk)
+            prefix = expected[: len(got)]
+            if got != prefix:
+                want = {env.schema.key(r): r for r in prefix}
+                have = {env.schema.key(r): r for r in got}
+                raise AssertionError(
+                    f"{name}: scan at ts={query_ts} diverged from model "
+                    f"after {len(got)} records: {diff_states(want, have)}"
+                )
+            if len(chunk) < batch:
+                if len(got) != len(expected):
+                    raise AssertionError(
+                        f"{name}: scan at ts={query_ts} ended after "
+                        f"{len(got)} records; model expects {len(expected)}"
+                    )
+                break
+            yield
+        # Deterministic pause between scans keeps schedules interesting.
+        if rng.random() < 0.5:
+            yield
+
+
+def flusher(env, name: str, seed: int, ops: int):
+    """Force ``ops`` buffer flushes (runs materialize off-schedule)."""
+    del seed  # flushing takes no decisions
+    del name
+    for _ in range(ops):
+        env.masm.flush_buffer()
+        yield
+
+
+def migrator(env, name: str, seed: int, ops: int):
+    """Run ``ops`` governor-paced migration slices."""
+    del seed
+    del name
+    for _ in range(ops):
+        governor = env.masm.governor
+        if governor is not None:
+            governor.migrate_step()
+        else:
+            env.masm.migrate()
+        yield
+
+
+def crasher(env, name: str, seed: int, idle_steps: int):
+    """Idle for a while, then tear the engine down and recover it.
+
+    This is a *clean* whole-process crash between operations (the torn
+    mid-operation crashes are the explorer's job): the surviving heap, SSD
+    runs and redo log are handed to recovery and the result is validated
+    against the model before any other actor takes another step.
+    """
+    del seed
+    del name
+    for _ in range(idle_steps):
+        yield
+    env.crash_and_recover()
+    yield
+
+
+def txn_writer(env, name: str, seed: int, txns: int, keys_per_txn: int = 3):
+    """Snapshot-isolation transactions: stage, maybe conflict, commit.
+
+    Staged writes are model-acknowledged only on successful commit, each as
+    the exact update the transaction publishes (same type/content, commit
+    timestamp, sorted key order) — aborted transactions leave no trace.
+    """
+    from repro.errors import TransactionAborted
+
+    rng = random.Random(f"{seed}:{name}")
+    for i in range(txns):
+        if env.snapshots is None:
+            return
+        epoch = env.epoch
+        txn = env.snapshots.begin()
+        for j in range(keys_per_txn):
+            # Inserts stay inside the reserved (3 mod 4) stripe; see updater.
+            key = rng.randrange(env.config.key_universe // 4) * 4 + 3
+            if txn.get(key) is None:
+                txn.insert((key, f"{name}-t{i}.{j}"))
+            else:
+                txn.modify(key, {"payload": f"{name}-t{i}.{j}"})
+        yield  # staged but uncommitted: invisible to everyone else
+        if env.epoch != epoch:
+            # The engine crashed under us: uncommitted writes die with it.
+            txn.abort()
+            yield
+            continue
+        try:
+            commit_ts = txn.commit()
+        except TransactionAborted:
+            yield
+            continue
+        for key in sorted(txn._writes):
+            staged = txn._writes[key]
+            env.model.record(
+                UpdateRecord(commit_ts, key, staged.type, staged.content)
+            )
+        yield

@@ -1,0 +1,122 @@
+"""The reference model oracle: a plain dict table with timestamped updates.
+
+The engine's central correctness claim (Sections 5-6 of the paper) is that a
+scan with query timestamp ``q`` sees *exactly* the base data plus every
+update committed at or before ``q`` — regardless of where those updates
+physically live (in-memory buffer, materialized runs, migrated pages) and
+regardless of what flushes, merges, migrations or crashes happened around
+the scan.  :class:`ModelTable` states that claim executably: a dict of base
+records plus an acknowledged-update history, with :func:`snapshot` applying
+updates in timestamp order through the engine's own
+:func:`~repro.core.update.apply_update` primitive (so INSERT/DELETE/MODIFY
+semantics cannot drift between model and engine).
+
+The model records an update only once the issuing engine call *returned*
+(acknowledged).  An update in flight when a simulated crash unwound the
+stack is *in-doubt*: depending on where the crash hit, recovery may or may
+not legitimately restore it, so post-crash validation accepts either state
+(see :meth:`snapshot`'s ``extra`` parameter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.update import UpdateRecord, apply_update
+from repro.engine.record import Schema
+
+
+class ModelTable:
+    """Timestamp-ordered reference state for one simulated table."""
+
+    def __init__(self, schema: Schema, base_rows: Iterable[tuple]) -> None:
+        self.schema = schema
+        self.base: dict[int, tuple] = {
+            schema.key(r): tuple(r) for r in base_rows
+        }
+        #: Acknowledged updates, appended in commit order.  Single-threaded
+        #: simulation acknowledges in timestamp order, which ``record``
+        #: asserts — snapshot() depends on it.
+        self.history: list[UpdateRecord] = []
+
+    def record(self, update: UpdateRecord) -> None:
+        """Acknowledge ``update`` (the engine call for it returned)."""
+        if self.history and update.timestamp < self.history[-1].timestamp:
+            raise ValueError(
+                f"model updates must arrive in timestamp order: "
+                f"{update.timestamp} after {self.history[-1].timestamp}"
+            )
+        self.history.append(update)
+
+    @property
+    def last_timestamp(self) -> int:
+        return self.history[-1].timestamp if self.history else 0
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(
+        self, query_ts: int, extra: Optional[UpdateRecord] = None
+    ) -> dict[int, tuple]:
+        """State visible at ``query_ts``: key -> record.
+
+        ``extra`` speculatively includes one more (in-doubt) update at its
+        own timestamp — used after a crash to ask "what if the in-flight
+        update did survive?".
+        """
+        state = dict(self.base)
+        updates = self.history
+        if extra is not None:
+            updates = sorted(
+                [*self.history, extra], key=lambda u: u.timestamp
+            )
+        for update in updates:
+            if update.timestamp > query_ts:
+                break
+            produced = apply_update(state.get(update.key), update, self.schema)
+            if produced is None:
+                state.pop(update.key, None)
+            else:
+                state[update.key] = produced
+        return state
+
+    def snapshot_records(
+        self,
+        query_ts: int,
+        begin_key: int = 0,
+        end_key: int = 2**63 - 1,
+        extra: Optional[UpdateRecord] = None,
+    ) -> list[tuple]:
+        """The records a scan of [begin, end] at ``query_ts`` must yield,
+        in key order — directly comparable to engine scan output."""
+        state = self.snapshot(query_ts, extra=extra)
+        return [
+            state[key]
+            for key in sorted(state)
+            if begin_key <= key <= end_key
+        ]
+
+    def live_keys(self, query_ts: int) -> list[int]:
+        """Sorted keys present at ``query_ts`` (for actor key choices)."""
+        return sorted(self.snapshot(query_ts))
+
+
+def diff_states(
+    want: dict[int, tuple], got: dict[int, tuple], limit: int = 5
+) -> str:
+    """A compact human-readable difference between two table states."""
+    missing = [k for k in sorted(want) if k not in got]
+    unexpected = [k for k in sorted(got) if k not in want]
+    wrong = [
+        k for k in sorted(want) if k in got and want[k] != got[k]
+    ]
+    parts = []
+    if missing:
+        parts.append(f"missing keys {missing[:limit]} ({len(missing)} total)")
+    if unexpected:
+        parts.append(
+            f"unexpected keys {unexpected[:limit]} ({len(unexpected)} total)"
+        )
+    for k in wrong[:limit]:
+        parts.append(f"key {k}: want {want[k]!r}, got {got[k]!r}")
+    if len(wrong) > limit:
+        parts.append(f"... {len(wrong) - limit} more wrong values")
+    return "; ".join(parts) if parts else "states identical"

@@ -1,0 +1,52 @@
+"""Greedy delta-debugging shrinker for failing schedules.
+
+Given a schedule whose replay fails and a predicate that re-runs a
+candidate schedule and reports whether it still fails, ``shrink_schedule``
+removes chunks of choices (classic ddmin halving, then single-choice
+sweeps) until no single removal keeps the failure alive.  Replay mode
+skips choices for finished actors, so any subsequence of a valid schedule
+is itself a valid schedule — exactly the closure property ddmin needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.sim.scheduler import Schedule
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    fails: Callable[[Schedule], bool],
+    *,
+    max_probes: int = 400,
+) -> Schedule:
+    """Minimize ``schedule`` while ``fails`` stays true.
+
+    ``fails`` must be deterministic (it replays a simulation).  The budget
+    bounds total replays; the best schedule found so far is returned even
+    if the budget runs out mid-pass.
+    """
+    best: List[str] = list(schedule.choices)
+    probes = 0
+
+    def still_fails(candidate: List[str]) -> bool:
+        nonlocal probes
+        probes += 1
+        return fails(Schedule(list(candidate)))
+
+    chunk = max(1, len(best) // 2)
+    while chunk >= 1 and probes < max_probes:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(best) and probes < max_probes:
+            candidate = best[:start] + best[start + chunk:]
+            if candidate != best and still_fails(candidate):
+                best = candidate
+                shrunk_this_pass = True
+                # Retry the same offset: the next chunk slid into place.
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+    return Schedule(best)

@@ -3,12 +3,16 @@
 MaSM only needs to recover the *in-memory* update buffer after a crash:
 materialized runs live on the (non-volatile) SSD, and migrations are
 idempotent thanks to page timestamps, so data-page changes are never logged.
-The log therefore carries three record kinds:
+The log therefore carries these record kinds:
 
 * ``UPDATE``          — one well-formed update (timestamp, table, payload);
 * ``RUN_FLUSH``       — the buffer up to a timestamp became run ``name``;
 * ``MIGRATION_START`` / ``MIGRATION_END`` — bracketing records that let
-  recovery redo an interrupted migration.
+  recovery redo an interrupted migration;
+* ``RUN_MERGE``       — runs ``run_names`` are being merged into run
+  ``run_name``; written *before* the product run is materialized, so the
+  product file's intact existence is the merge's commit point and recovery
+  can discard superseded victim files a crash left behind.
 
 Records are length-prefixed, CRC-protected and appended sequentially; the
 log is itself a file on a simulated device, so logging I/O is accounted like
@@ -40,6 +44,7 @@ class LogRecordType(IntEnum):
     RUN_FLUSH = 2
     MIGRATION_START = 3
     MIGRATION_END = 4
+    RUN_MERGE = 5
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,10 @@ class LogRecord:
     run_name: Optional[str] = None
     run_names: Optional[tuple[str, ...]] = None
     key_range: Optional[tuple[int, int]] = None
+    #: RUN_MERGE only: the product's covered timestamp span (union of the
+    #: victims' spans).  Restored on recovery because the reloaded span is
+    #: derived from content, which combine may have narrowed.
+    covered_ts: Optional[tuple[int, int]] = None
 
 
 def _pack_str(text: str) -> bytes:
@@ -117,6 +126,20 @@ class RedoLog:
 
     def log_migration_end(self, timestamp: int) -> None:
         self._append(LogRecordType.MIGRATION_END, struct.pack("<Q", timestamp))
+
+    def log_run_merge(
+        self,
+        timestamp: int,
+        product: str,
+        victims: list[str],
+        covered_ts: tuple[int, int],
+    ) -> None:
+        payload = struct.pack(
+            "<QQQH", timestamp, covered_ts[0], covered_ts[1], len(victims)
+        ) + _pack_str(product)
+        for name in victims:
+            payload += _pack_str(name)
+        self._append(LogRecordType.RUN_MERGE, payload)
 
     # ----------------------------------------------------------------- reads
     def records(self) -> Iterator[LogRecord]:
@@ -198,6 +221,20 @@ class RedoLog:
                 names.append(name)
             return LogRecord(
                 rtype, timestamp, run_names=tuple(names), key_range=(lo, hi)
+            )
+        if rtype == LogRecordType.RUN_MERGE:
+            timestamp, lo, hi, count = struct.unpack_from("<QQQH", payload, 0)
+            product, pos = _unpack_str(payload, struct.calcsize("<QQQH"))
+            victims = []
+            for _ in range(count):
+                name, pos = _unpack_str(payload, pos)
+                victims.append(name)
+            return LogRecord(
+                rtype,
+                timestamp,
+                run_name=product,
+                run_names=tuple(victims),
+                covered_ts=(lo, hi),
             )
         (timestamp,) = struct.unpack_from("<Q", payload, 0)
         return LogRecord(rtype, timestamp)

@@ -53,6 +53,11 @@ class RecoveryReport:
     orphan_runs_discarded: int = 0
     #: Fresh runs rebuilt from the redo log to replace discarded ones.
     runs_rebuilt: int = 0
+    #: Victim files of committed merges (RUN_MERGE record + intact product)
+    #: still on the SSD at the crash — e.g. parked in the graveyard for an
+    #: active scan; serving them alongside the product would apply every
+    #: merged update twice.
+    merge_victims_discarded: int = 0
 
 
 def rebuild_table_index(table: Table) -> None:
@@ -127,7 +132,10 @@ def recover_masm(
     migrated_ts = 0  # max ts applied in place by a completed full migration
     pending: list[UpdateRecord] = []
     open_migrations: dict[int, tuple[str, ...]] = {}
-    completed_migrations: list[tuple[str, ...]] = []
+    completed_full: list[tuple[str, ...]] = []
+    completed_partial: list[tuple[tuple[str, ...], tuple[int, int]]] = []
+    # (product, victims, product covered-ts span)
+    merges: list[tuple[str, tuple[str, ...], tuple[int, int]]] = []
     full_range = (0, 2**63 - 1)
     with trace("txn.recover.replay"):
         for record in redo_log.records():
@@ -152,11 +160,17 @@ def recover_masm(
                         f"migration end {record.timestamp} without a start record"
                     )
                 names, key_range = entry
-                completed_migrations.append(names)
-                if key_range is None or key_range == full_range:
+                if key_range is None or tuple(key_range) == full_range:
+                    completed_full.append(names)
                     # A completed full migration applied every cached update
                     # with ts <= its timestamp in place.
                     migrated_ts = max(migrated_ts, record.timestamp)
+                else:
+                    completed_partial.append((names, tuple(key_range)))
+            elif record.type == LogRecordType.RUN_MERGE:
+                merges.append(
+                    (record.run_name, record.run_names or (), record.covered_ts)
+                )
 
     # ---- 1. reload run metadata from the SSD, tolerating damage ------------
     pattern = re.compile(re.escape(masm.name) + r"-run-(\d+)$")
@@ -181,9 +195,44 @@ def recover_masm(
             continue
         runs_by_name[file_name] = run
 
-    # Runs of completed migrations should be gone; delete leftovers (the
-    # crash may have hit between the END record and the deletion).
-    for names in completed_migrations:
+    # Merges log their RUN_MERGE record *before* materializing the product
+    # run, so the product file's intact existence is the commit point.
+    # Product intact: the victims are superseded copies of its content —
+    # any still on the SSD (the crash hit before retirement, or a scan kept
+    # them parked in the graveyard) must go, since serving them alongside
+    # the product would apply every merged update twice (and re-raise
+    # duplicate-INSERT conflicts in the combine chain).  Product missing or
+    # damaged: the merge never committed; the victims stay authoritative
+    # and the damaged-product file is discarded by the damage path below
+    # (its content needs no rebuild — the victims still cover it).
+    for product, victim_names, covered_ts in merges:
+        match = pattern.match(product)
+        if match:
+            # Never reuse a logged product name, even if the crash hit
+            # before its file was written: a later run under the same name
+            # would make this record look committed on the *next* recovery.
+            masm._run_seq = max(masm._run_seq, int(match.group(1)) + 1)
+        if product not in runs_by_name:
+            continue
+        product_run = runs_by_name[product]
+        # The reloaded span is derived from content, which combine may have
+        # narrowed (a chain collapses to its latest timestamp); restore the
+        # logged union of the victims' spans so the log-fallback and
+        # gap-rebuild paths see what this run is the durable home of.
+        product_run.covered_min_ts = min(product_run.covered_min_ts, covered_ts[0])
+        product_run.covered_max_ts = max(product_run.covered_max_ts, covered_ts[1])
+        for run_name in victim_names:
+            if runs_by_name.pop(run_name, None) is not None:
+                ssd_volume.delete(run_name)
+                report.merge_victims_discarded += 1
+            elif run_name in damaged_names:
+                damaged_names.remove(run_name)
+                ssd_volume.delete(run_name)
+                report.merge_victims_discarded += 1
+
+    # Runs of completed *full* migrations should be gone; delete leftovers
+    # (the crash may have hit between the END record and the deletion).
+    for names in completed_full:
         for run_name in names:
             if runs_by_name.pop(run_name, None) is not None:
                 ssd_volume.delete(run_name)
@@ -192,6 +241,26 @@ def recover_masm(
                 damaged_names.remove(run_name)
                 ssd_volume.delete(run_name)
                 report.leftover_runs_deleted += 1
+
+    # Completed *partial* migrations (governor-paced slices) applied only a
+    # key range in place; the named runs still hold unmigrated keys and must
+    # survive.  Re-mark the migrated ranges (they were volatile) and delete
+    # a run only when its slices cumulatively cover its whole key span —
+    # the same rule the engine uses to retire runs after a slice.  Damaged
+    # runs are left to the rebuild path: its log replay re-materializes all
+    # their updates, and re-serving already-migrated ones is harmless under
+    # the page-timestamp rule.
+    for names, (range_lo, range_hi) in completed_partial:
+        for run_name in names:
+            run = runs_by_name.get(run_name)
+            if run is None:
+                continue
+            run.mark_migrated(range_lo, range_hi)
+    for run_name, run in list(runs_by_name.items()):
+        if run.migrated_ranges and run.fully_migrated(run.min_key, run.max_key):
+            del runs_by_name[run_name]
+            ssd_volume.delete(run_name)
+            report.leftover_runs_deleted += 1
 
     # Orphan runs: written to the SSD but the crash hit before their
     # RUN_FLUSH record was logged.  Their updates are replayed into the

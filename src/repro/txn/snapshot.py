@@ -17,6 +17,7 @@ from repro.core.masm import MaSM
 from repro.core.operators import MergeDataUpdates, MergeUpdates
 from repro.core.update import UpdateRecord, UpdateType, combine
 from repro.errors import TransactionAborted, TransactionError
+from repro.sim.hooks import interleave as sim_interleave
 
 
 class SnapshotManager:
@@ -31,6 +32,7 @@ class SnapshotManager:
         self._lock = threading.Lock()
 
     def begin(self) -> "SnapshotTransaction":
+        sim_interleave("txn.begin")
         return SnapshotTransaction(self, self.oracle.next())
 
     # ------------------------------------------------------------- internals
@@ -91,6 +93,7 @@ class SnapshotTransaction:
         """
         if self._done:
             raise TransactionError("transaction already finished")
+        sim_interleave("txn.scan")
         base = self.manager.masm.range_scan(
             begin_key, end_key, query_ts=self.start_ts
         )
@@ -119,6 +122,7 @@ class SnapshotTransaction:
         """First-committer-wins validation, then publish to MaSM."""
         if self._done:
             raise TransactionError("transaction already finished")
+        sim_interleave("txn.commit")
         self._done = True
         if not self._writes:
             return self.start_ts

@@ -163,3 +163,131 @@ def test_rebuild_table_index():
     assert table.row_count == rows_before
     assert table.index.entries() == entries_before
     assert table.get(40) == (40, "rec-20")
+
+
+def test_partial_migration_slice_keeps_run_on_recovery():
+    """A governed slice's completed MIGRATION record names runs it only
+    partially migrated; recovery must keep them (found by repro.sim)."""
+    from repro.core.migration import migrate_range
+
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "low-key"})
+    masm.modify(1800, {"payload": "high-key"})
+    masm.flush_buffer()
+    expected = scan_dict(masm)
+    # Migrate only the low half: the run keeps the key-1800 update cached.
+    migrate_range(masm, 0, 900, redo_log=log)
+    assert masm.runs, "run should survive a partial slice"
+
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.leftover_runs_deleted == 0
+    assert report.runs_reloaded == 1
+    d = scan_dict(recovered)
+    assert d == expected
+    assert d[40] == (40, "low-key")
+    assert d[1800] == (1800, "high-key")
+    # The reloaded run remembers which half was already applied in place.
+    assert recovered.runs[0].migrated_ranges
+
+
+def test_cumulative_slices_retire_run_on_recovery():
+    """Slices that cumulatively cover a run's whole key span let recovery
+    delete the leftover file, mirroring the engine's retirement rule."""
+    from repro.core.migration import migrate_range
+
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "a"})
+    masm.modify(1800, {"payload": "b"})
+    masm.flush_buffer()
+    expected = scan_dict(masm)
+    run = masm.runs[0]
+    run_name = run.name
+    run_file = ssd_vol.open(run_name)
+    run_bytes = run_file.read(0, run_file.size)
+    run_size = run_file.size
+    migrate_range(masm, 0, 900, redo_log=log)
+    migrate_range(masm, 901, 2**62, redo_log=log)
+    assert not masm.runs, "both slices together retire the run"
+    # Crash inside the pre-deletion window: END records logged, file still
+    # on the SSD.  Recovery must recognize the cumulative coverage and
+    # delete the leftover instead of resurrecting the run.
+    assert run_name not in ssd_vol
+    stale = ssd_vol.create(run_name, run_size)
+    stale.write(0, run_bytes)
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.leftover_runs_deleted == 1
+    assert report.runs_reloaded == 0
+    assert run_name not in ssd_vol
+    assert scan_dict(recovered) == expected
+
+
+def test_merge_victims_discarded_on_recovery():
+    """Victims of a committed merge must not be resurrected by recovery.
+
+    An active scan makes the merge park its victims in the graveyard, so
+    their files survive the crash alongside the product; reloading both
+    would serve every merged update twice (a duplicate-INSERT conflict in
+    the combine chain).  The RUN_MERGE record condemns them.
+    """
+    masm, table, ssd_vol, log, config = build_system()
+    masm.insert((41, "fresh row"))
+    masm.modify(40, {"payload": "early"})
+    masm.flush_buffer()
+    masm.modify(40, {"payload": "late"})
+    masm.delete(44)
+    masm.flush_buffer()
+    victims = [r.name for r in masm.runs]
+    assert len(victims) == 2
+    expected = scan_dict(masm)
+
+    stream = iter(masm.range_scan(0, 2**62))
+    next(stream)  # scan registered: the merge must graveyard its victims
+    merged = masm._merge_earliest_runs(2)
+    for name in victims:
+        assert name in ssd_vol, "victim files parked for the scan"
+
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.merge_victims_discarded == 2
+    assert report.runs_reloaded == 1
+    assert [r.name for r in recovered.runs] == [merged.name]
+    for name in victims:
+        assert name not in ssd_vol
+    d = scan_dict(recovered)
+    assert d == expected
+    assert d[41] == (41, "fresh row")
+
+
+def test_uncommitted_merge_keeps_victims_on_recovery():
+    """A RUN_MERGE record without an intact product condemns nothing.
+
+    The crash hit between the log append and the product write: the
+    victims are still the authoritative copies, and the logged product
+    name must never be reused (a later run under it would make the stale
+    record look committed on the next recovery).
+    """
+    masm, table, ssd_vol, log, config = build_system()
+    masm.insert((41, "kept"))
+    masm.flush_buffer()
+    masm.modify(44, {"payload": "kept too"})
+    masm.flush_buffer()
+    victims = [r.name for r in masm.runs]
+    expected = scan_dict(masm)
+
+    product = f"{masm.name}-run-{masm._run_seq:05d}"
+    log.log_run_merge(
+        masm.oracle.current,
+        product,
+        victims,
+        covered_ts=(
+            min(r.covered_min_ts for r in masm.runs),
+            max(r.covered_max_ts for r in masm.runs),
+        ),
+    )
+
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.merge_victims_discarded == 0
+    assert sorted(r.name for r in recovered.runs) == sorted(victims)
+    assert scan_dict(recovered) == expected
+    recovered.modify(46, {"payload": "post-recovery"})
+    recovered.flush_buffer()
+    assert product not in ssd_vol, "logged product name must not be reused"
