@@ -44,6 +44,15 @@ FRESH_RESULT_FILE = "BENCH_scan_merge.fresh.json"
 #: The row whose cells normalize every other row (re-measured each run).
 REFERENCE_ROW = "legacy"
 
+#: Cells that must exist in the fresh results regardless of the baseline's
+#: age.  ``compare`` ignores cells missing from the baseline (new rows are
+#: allowed to appear), so without this list a refactor that silently
+#: dropped e.g. the pipeline measurement would pass the gate.
+REQUIRED_CELLS = (
+    ("batch-warm", "merge_rps"),
+    ("batch-warm", "pipeline_rps"),
+)
+
 
 def load_rows(payload: dict) -> dict[str, dict[str, float]]:
     """``{row_label: {column: value}}`` from a BENCH_scan_merge payload."""
@@ -82,6 +91,9 @@ def compare(
     base_ratios = normalized(baseline)
     fresh_ratios = normalized(fresh)
     failures: list[str] = []
+    for label, column in REQUIRED_CELLS:
+        if fresh.get(label, {}).get(column) is None:
+            failures.append(f"required cell {label}/{column} missing from fresh results")
     for label, base_values in sorted(base_ratios.items()):
         fresh_values = fresh_ratios.get(label)
         if fresh_values is None:

@@ -1,11 +1,18 @@
 """Shared LRU cache of decoded run blocks.
 
-Materialized runs are immutable, so a block's decoded record list never goes
+Materialized runs are immutable, so a block's decoded form never goes
 stale: concurrent ``Run_scan``s over hot key ranges can share one decode.
-The cache is size-bounded (in blocks), keyed by ``(run_name, block_no)``,
-and stores the *unfiltered* decode of each block — query-specific filters
-(key range, ``query_ts`` visibility, migrated ranges, ``after`` positions)
-are applied per scan on top of the cached lists.
+The cache is size-bounded (in blocks, optionally also in decoded bytes),
+keyed by ``(run_name, block_no)``, and stores the *unfiltered*
+:class:`~repro.core.update.ColumnarBlock` of each block — query-specific
+filters (key range, ``query_ts`` visibility, migrated ranges, ``after``
+positions) are applied per scan on top of the cached columns/records.
+
+Memory accounting is byte-accurate: each entry is charged its actual
+decoded footprint (``entry.nbytes``), re-read on every hit so lazy
+materialization of records or key lists after insertion is picked up.  The
+gauge ``blockcache.accounting_delta_bytes`` exposes how far the old
+encoded-size approximation was from the truth.
 
 Hit/miss/eviction counts accumulate both on the cache itself and, when a
 stats sink is attached (:class:`repro.core.masm.MaSMStats`), on the owning
@@ -18,32 +25,73 @@ import threading
 from collections import OrderedDict
 from typing import Optional
 
-from repro.core.update import UpdateRecord
 from repro.obs import get_registry
 
 #: Default capacity: 128 decoded blocks (8 MB of raw run data at the
 #: coarse 64 KB granularity, more as Python objects).
 DEFAULT_CACHE_BLOCKS = 128
 
-#: A cache entry: the block's decoded records plus their keys, both in
-#: (key, ts) order.  The parallel key list is what block-local binary
-#: searches run over.
-DecodedBlock = tuple[list[int], list[UpdateRecord]]
+#: Rough decoded bytes per record for legacy ``(keys, records)`` tuple
+#: entries that predate :class:`~repro.core.update.ColumnarBlock` (kept so
+#: foreign entries remain accountable).
+_LEGACY_ENTRY_BYTES_PER_RECORD = 96
+
+#: A cache entry.  Normally a :class:`~repro.core.update.ColumnarBlock`;
+#: anything sized (an ``nbytes`` attribute) or shaped like the legacy
+#: ``(keys, records)`` tuple is accepted.
+DecodedBlock = object
+
+
+def _entry_bytes(entry) -> int:
+    """Actual decoded footprint of an entry, best effort for foreign types."""
+    size = getattr(entry, "nbytes", None)
+    if size is not None:
+        return int(size)
+    try:
+        keys = entry[0]
+        return len(keys) * _LEGACY_ENTRY_BYTES_PER_RECORD
+    except (TypeError, IndexError, KeyError):
+        return 0
+
+
+def _entry_encoded_bytes(entry) -> int:
+    """The encoded-size approximation the old accounting charged."""
+    size = getattr(entry, "encoded_size", None)
+    if size is not None:
+        return int(size)
+    return _entry_bytes(entry)
 
 
 class DecodedBlockCache:
     """Size-bounded LRU of decoded run blocks, safe for concurrent scans."""
 
-    def __init__(self, capacity_blocks: int = DEFAULT_CACHE_BLOCKS, stats=None):
+    def __init__(
+        self,
+        capacity_blocks: int = DEFAULT_CACHE_BLOCKS,
+        stats=None,
+        capacity_bytes: Optional[int] = None,
+    ):
         if capacity_blocks < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity_blocks}")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be >= 0, got {capacity_bytes}"
+            )
         self.capacity = capacity_blocks
+        self.capacity_bytes = capacity_bytes
         self._entries: "OrderedDict[tuple[str, int], DecodedBlock]" = OrderedDict()
+        #: Bytes currently charged per entry; re-read on hits so lazy
+        #: materialization after insertion stays accounted.
+        self._charged: dict[tuple[str, int], int] = {}
         self._lock = threading.Lock()
         self._stats = stats
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.resident_bytes = 0
+        #: What the pre-columnar accounting would have charged (encoded
+        #: block sizes): kept to expose the approximation error as a gauge.
+        self.approx_bytes = 0
         # Process-wide aggregates across every cache instance; the exact
         # per-engine counts stay on the attached MaSMStats sink.
         registry = get_registry()
@@ -51,9 +99,31 @@ class DecodedBlockCache:
         self._obs_misses = registry.counter("blockcache.misses")
         self._obs_evictions = registry.counter("blockcache.evictions")
         self._obs_resident = registry.gauge("blockcache.resident_blocks")
+        self._obs_resident_bytes = registry.gauge("blockcache.resident_bytes")
+        self._obs_delta_bytes = registry.gauge(
+            "blockcache.accounting_delta_bytes"
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _publish_bytes(self) -> None:
+        self._obs_resident.set(len(self._entries))
+        self._obs_resident_bytes.set(self.resident_bytes)
+        self._obs_delta_bytes.set(self.resident_bytes - self.approx_bytes)
+
+    def _recharge(self, key: tuple[str, int], entry) -> None:
+        """Refresh one entry's byte charge (lazy forms may have grown it)."""
+        size = _entry_bytes(entry)
+        old = self._charged.get(key, 0)
+        if size != old:
+            self._charged[key] = size
+            self.resident_bytes += size - old
+
+    def _drop(self, key: tuple[str, int]) -> None:
+        entry = self._entries.pop(key)
+        self.resident_bytes -= self._charged.pop(key, 0)
+        self.approx_bytes -= _entry_encoded_bytes(entry)
 
     def get(self, run_name: str, block_no: int) -> Optional[DecodedBlock]:
         """The decoded block, refreshed to most-recently-used; None on miss."""
@@ -68,6 +138,8 @@ class DecodedBlockCache:
                     stats.block_cache_misses += 1
                 return None
             self._entries.move_to_end(key)
+            self._recharge(key, entry)
+            self._publish_bytes()
             self.hits += 1
             self._obs_hits.add(1)
             if stats is not None:
@@ -81,15 +153,25 @@ class DecodedBlockCache:
         key = (run_name, block_no)
         stats = self._stats
         with self._lock:
+            if key in self._entries:
+                self._drop(key)
             self._entries[key] = block
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._charged[key] = _entry_bytes(block)
+            self.resident_bytes += self._charged[key]
+            self.approx_bytes += _entry_encoded_bytes(block)
+            while len(self._entries) > self.capacity or (
+                self.capacity_bytes is not None
+                and len(self._entries) > 1
+                and self.resident_bytes > self.capacity_bytes
+            ):
+                victim = next(iter(self._entries))
+                self._drop(victim)
                 self.evictions += 1
                 self._obs_evictions.add(1)
                 if stats is not None:
                     stats.block_cache_evictions += 1
-            self._obs_resident.set(len(self._entries))
+            self._publish_bytes()
 
     def invalidate_run(self, run_name: str) -> int:
         """Drop every cached block of one run (called when a run is deleted).
@@ -101,12 +183,18 @@ class DecodedBlockCache:
         with self._lock:
             doomed = [k for k in self._entries if k[0] == run_name]
             for k in doomed:
-                del self._entries[k]
+                self._drop(k)
+            if doomed:
+                self._publish_bytes()
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._charged.clear()
+            self.resident_bytes = 0
+            self.approx_bytes = 0
+            self._publish_bytes()
 
     @property
     def hit_rate(self) -> float:
@@ -116,5 +204,6 @@ class DecodedBlockCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DecodedBlockCache({len(self._entries)}/{self.capacity} blocks, "
+            f"{self.resident_bytes}B resident, "
             f"{self.hits} hits, {self.misses} misses, {self.evictions} evictions)"
         )

@@ -75,6 +75,19 @@ class MaSMConfig:
     #: and concurrent scans hit instead of re-reading/re-decoding the SSD.
     #: 0 disables the cache.
     decoded_cache_blocks: int = DEFAULT_CACHE_BLOCKS
+    #: Optional byte ceiling for the decoded-block cache on top of the block
+    #: count, enforced against byte-accurate per-entry accounting (lazy
+    #: record materialization included).  None bounds by blocks only.
+    decoded_cache_bytes: Optional[int] = None
+    #: Scan with the columnar merge kernels (:mod:`repro.core.kernels`) when
+    #: available.  False forces the record-at-a-time operator paths; the
+    #: ``MASM_DISABLE_KERNELS`` environment variable does the same globally.
+    use_kernels: bool = True
+    #: Target run-index blocks per merge partition for the kernel path.
+    #: None uses :data:`repro.core.kernels.DEFAULT_BLOCKS_PER_PARTITION`;
+    #: small values force multi-partition merges on small runs (used by the
+    #: simulation's ``kernels`` scenario to stress partition boundaries).
+    kernel_blocks_per_partition: Optional[int] = None
     #: Overload governance (admission control + paced incremental migration,
     #: see :mod:`repro.core.governor`).  Setting either field attaches a
     #: :class:`LoadGovernor` to the engine; ``overload_policy`` alone uses
@@ -293,7 +306,11 @@ class MaSM:
         self._runs_by_flush_epoch: dict[int, MaterializedSortedRun] = {}
         self.stats = MaSMStats(scope=self.name)
         self.block_cache: Optional[DecodedBlockCache] = (
-            DecodedBlockCache(self.config.decoded_cache_blocks, stats=self.stats)
+            DecodedBlockCache(
+                self.config.decoded_cache_blocks,
+                stats=self.stats,
+                capacity_bytes=self.config.decoded_cache_bytes,
+            )
             if self.config.decoded_cache_blocks > 0
             else None
         )
@@ -698,11 +715,26 @@ class MaSM:
                         flush_epoch=mem_epoch,
                     )
                 )
-                updates = MergeUpdates(update_sources, self.table.schema, cpu=self.cpu)
+                updates = MergeUpdates(
+                    update_sources,
+                    self.table.schema,
+                    cpu=self.cpu,
+                    use_kernels=self.config.use_kernels,
+                    blocks_per_partition=self.config.kernel_blocks_per_partition,
+                )
                 data = self.table.range_scan_pairs(begin_key, end_key)
+                data_chunks = None
+                if self.config.use_kernels:
+                    chunked = getattr(self.table, "range_scan_pair_chunks", None)
+                    if chunked is not None:
+                        data_chunks = chunked(begin_key, end_key)
                 with span:
                     yield from MergeDataUpdates(
-                        data, updates, self.table.schema, cpu=self.cpu
+                        data,
+                        updates,
+                        self.table.schema,
+                        cpu=self.cpu,
+                        data_chunks=data_chunks,
                     )
             finally:
                 sim_interleave("masm.scan.end")

@@ -19,19 +19,31 @@ meter per batch of merged records rather than per record.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
+from itertools import chain as _chain
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.core import kernels
 from repro.core.blockcache import DecodedBlockCache
 from repro.core.membuffer import BufferFlushed, InMemoryUpdateBuffer
 from repro.core.sortedrun import MaterializedSortedRun
 from repro.core.update import UpdateRecord, apply_update, combine, combine_chain
 from repro.engine.record import Schema
 from repro.errors import ChecksumError, TransientIOError
+from repro.sim.hooks import interleave as sim_interleave
 from repro.storage.iosched import (
+    KERNEL_DECODE_CPU_PER_UPDATE,
     MERGE_CPU_BATCH,
     MERGE_CPU_PER_UPDATE,
     CpuMeter,
 )
+
+#: Largest representable timestamp — "everything at this key" when used as
+#: the timestamp half of an ``after`` resume position.
+_MAX_TS = 2**63 - 1
+
+#: Fallback chunk size when the data side offers no chunked scan.
+_DATA_CHUNK_RECORDS = 1024
 
 
 def merge_update_streams(
@@ -228,6 +240,40 @@ class MemScan:
             yield update
 
 
+class _Lookahead:
+    """A one-record lookahead over a sorted update stream.
+
+    Lets the partitioned merge drain non-columnar sources (Mem_scans,
+    fallback replays, plain iterables) partition by partition: records up to
+    a boundary key are taken as a list, the first record beyond it is held
+    for the next partition.
+    """
+
+    __slots__ = ("_it", "_head")
+
+    def __init__(self, source: Iterable[UpdateRecord]) -> None:
+        self._it = iter(source)
+        self._head: Optional[UpdateRecord] = next(self._it, None)
+
+    def take_upto(self, hi: Optional[int]) -> list[UpdateRecord]:
+        """All pending records with ``key <= hi`` (every record if None)."""
+        head = self._head
+        if head is None or (hi is not None and head.key > hi):
+            return []
+        out = [head]
+        if hi is None:
+            out.extend(self._it)
+            self._head = None
+            return out
+        for update in self._it:
+            if update.key > hi:
+                self._head = update
+                return out
+            out.append(update)
+        self._head = None
+        return out
+
+
 class MergeUpdates:
     """K-way merge of sorted update streams, combining same-key chains.
 
@@ -235,6 +281,19 @@ class MergeUpdates:
     (the output the outer join consumes).  ``fast_path=False`` selects the
     record-at-a-time reference implementation (``heapq.merge`` keyed on
     ``UpdateRecord.sort_key``), kept for equivalence testing.
+
+    When the columnar kernels are available (:func:`repro.core.kernels.enabled`
+    and ``use_kernels``) and at least one source is a healthy :class:`RunScan`,
+    the merge runs array-at-a-time: the key range is split into partitions at
+    boundary keys drawn from the runs' own indexes, each run contributes a
+    partition slice in columnar form (:meth:`MaterializedSortedRun.
+    slice_columns`), non-columnar sources are drained up to the partition
+    boundary, and one kernel invocation merges + combines the partition
+    (:func:`repro.core.kernels.merge_slices`).  A run that fails mid-scan
+    (checksum/transient I/O) degrades to its ``fallback`` stream from the
+    current partition boundary on, exactly as the record-at-a-time
+    :class:`RunScan` would — slices are built atomically, so nothing from
+    the failed partition was delivered.
     """
 
     def __init__(
@@ -243,16 +302,117 @@ class MergeUpdates:
         schema: Schema,
         cpu: Optional[CpuMeter] = None,
         fast_path: bool = True,
+        use_kernels: bool = True,
+        blocks_per_partition: Optional[int] = None,
     ) -> None:
         self.sources = list(sources)
         self.schema = schema
         self.cpu = cpu
         self.fast_path = fast_path
+        self.use_kernels = use_kernels
+        self.blocks_per_partition = (
+            blocks_per_partition
+            if blocks_per_partition is not None
+            else kernels.DEFAULT_BLOCKS_PER_PARTITION
+        )
 
     def __iter__(self) -> Iterator[UpdateRecord]:
         if not self.fast_path:
             return self._iter_reference()
+        batches = self.kernel_batches()
+        if batches is not None:
+            return _chain.from_iterable(b.records for b in batches)
         return self._iter_fast()
+
+    def kernel_batches(self) -> Optional[Iterator["kernels.UpdateBatch"]]:
+        """Per-partition :class:`~repro.core.kernels.UpdateBatch` generator,
+        or None when the kernel path cannot serve this merge (kernels
+        disabled, reference path requested, or no columnar run to partition
+        by).  :class:`MergeDataUpdates` consumes batches directly so the
+        join can stay array-at-a-time too.
+        """
+        if not (self.fast_path and self.use_kernels and kernels.enabled()):
+            return None
+        if not any(
+            isinstance(s, RunScan) and not s.run.quarantined
+            for s in self.sources
+        ):
+            return None
+        return self._iter_batches_kernel()
+
+    def _iter_batches_kernel(self) -> Iterator["kernels.UpdateBatch"]:
+        schema = self.schema
+        cpu = self.cpu
+        sources = self.sources
+        runs: dict[int, RunScan] = {}
+        extras: dict[int, _Lookahead] = {}
+        for slot, src in enumerate(sources):
+            if isinstance(src, RunScan) and not src.run.quarantined:
+                runs[slot] = src
+            else:
+                extras[slot] = _Lookahead(src)
+        begin = min(rs.begin_key for rs in runs.values())
+        end = max(rs.end_key for rs in runs.values())
+        bounds = kernels.partition_points(
+            [rs.run.index for rs in runs.values()],
+            begin,
+            end,
+            self.blocks_per_partition,
+        )
+        # The final partition is unbounded so non-columnar sources drain
+        # records past the last run key.
+        ranges = kernels.partition_ranges(bounds, begin, None)
+        for lo, hi in ranges:
+            sim_interleave("kernels.partition")
+            slices: list[kernels.SourceSlice] = []
+            decoded = 0
+            for slot in range(len(sources)):
+                rs = runs.get(slot)
+                if rs is not None:
+                    r_lo = max(lo, rs.begin_key)
+                    r_hi = rs.end_key if hi is None else min(hi, rs.end_key)
+                    if r_lo > r_hi:
+                        continue
+                    try:
+                        cols = rs.run.slice_columns(
+                            r_lo,
+                            r_hi,
+                            rs.query_ts,
+                            cache=rs.cache,
+                            stats=rs.stats,
+                        )
+                    except (ChecksumError, TransientIOError):
+                        if rs.fallback is None:
+                            raise
+                        after = None if lo <= begin else (lo - 1, _MAX_TS)
+                        extra = _Lookahead(rs.fallback(after))
+                        del runs[slot]
+                        extras[slot] = extra
+                        records = extra.take_upto(hi)
+                        if records:
+                            slices.append(
+                                kernels.SourceSlice.from_records(records)
+                            )
+                            decoded += len(records)
+                        continue
+                    if cols is not None:
+                        keys, ts, records = cols
+                        slices.append(kernels.SourceSlice(keys, ts, records))
+                        decoded += len(records)
+                else:
+                    records = extras[slot].take_upto(hi)
+                    if records:
+                        slices.append(kernels.SourceSlice.from_records(records))
+                        decoded += len(records)
+            if not slices:
+                continue
+            if cpu is not None:
+                cpu.charge_batch(
+                    decoded, KERNEL_DECODE_CPU_PER_UPDATE, kind="decode"
+                )
+            batch = kernels.merge_slices(slices, schema, cpu)
+            if len(batch):
+                yield batch
 
     def _iter_fast(self) -> Iterator[UpdateRecord]:
         schema = self.schema
@@ -301,6 +461,16 @@ class MergeDataUpdates:
     whose timestamp is <= the page timestamp of the matching record has
     already been applied in place (by a migration) and is skipped — the
     timestamp rule that lets queries run during in-place migration.
+
+    When ``updates`` is a :class:`MergeUpdates` running its kernel path, the
+    join is batch-oriented: per update partition, the data side is pulled up
+    to the partition's max key and joined in one
+    :func:`repro.core.kernels.join_partition` call (binary search of update
+    keys into the data keys, wholesale extends of untouched data spans).
+    ``data_chunks`` — an iterable of ``(records, page_ts)`` page chunks with
+    a scalar per-chunk timestamp, e.g. ``Table.range_scan_pair_chunks`` —
+    feeds that path without a per-record generator round-trip; without it
+    the kernel path chunks ``data_pairs`` itself.
     """
 
     def __init__(
@@ -309,13 +479,86 @@ class MergeDataUpdates:
         updates: Iterable[UpdateRecord],
         schema: Schema,
         cpu: Optional[CpuMeter] = None,
+        data_chunks: Optional[Iterable[tuple[list, int]]] = None,
     ) -> None:
         self.data_pairs = data_pairs
         self.updates = updates
         self.schema = schema
         self.cpu = cpu
+        self.data_chunks = data_chunks
 
     def __iter__(self) -> Iterator[tuple]:
+        updates = self.updates
+        if isinstance(updates, MergeUpdates):
+            batches = updates.kernel_batches()
+            if batches is not None:
+                return _chain.from_iterable(self._iter_kernel_lists(batches))
+        return self._iter_reference()
+
+    def _data_chunks(self) -> Iterator[tuple[list, object]]:
+        """The data stream as (records, ts) chunks; ts scalar or per-record."""
+        if self.data_chunks is not None:
+            yield from self.data_chunks
+            return
+        pairs = iter(self.data_pairs)
+        while True:
+            records: list = []
+            ts: list[int] = []
+            for record, page_ts in pairs:
+                records.append(record)
+                ts.append(page_ts)
+                if len(records) >= _DATA_CHUNK_RECORDS:
+                    break
+            if not records:
+                return
+            yield records, ts
+
+    def _iter_kernel_lists(
+        self, batches: Iterator["kernels.UpdateBatch"]
+    ) -> Iterator[list]:
+        """Join each update partition against its data key span, as lists."""
+        schema = self.schema
+        kp = schema.key_pos
+        chunks = self._data_chunks()
+        exhausted = False
+        buf_records: list = []
+        buf_keys: list[int] = []
+        buf_ts: list[int] = []
+        for batch in batches:
+            max_key = int(batch.keys[-1])
+            while not exhausted and (not buf_keys or buf_keys[-1] <= max_key):
+                nxt = next(chunks, None)
+                if nxt is None:
+                    exhausted = True
+                    break
+                records, ts = nxt
+                buf_records.extend(records)
+                buf_keys.extend(r[kp] for r in records)
+                if isinstance(ts, int):
+                    buf_ts.extend([ts] * len(records))
+                else:
+                    buf_ts.extend(ts)
+            split = bisect_right(buf_keys, max_key)
+            out: list = []
+            kernels.join_partition(
+                batch,
+                buf_records[:split],
+                kernels.as_int64_array(buf_keys[:split]),
+                buf_ts[:split],
+                schema,
+                out,
+            )
+            if split:
+                del buf_records[:split], buf_keys[:split], buf_ts[:split]
+            yield out
+        # Data past the last update key passes through unmodified.
+        if buf_records:
+            yield buf_records
+        if not exhausted:
+            for records, _ in chunks:
+                yield records
+
+    def _iter_reference(self) -> Iterator[tuple]:
         schema = self.schema
         updates = iter(self.updates)
         update = next(updates, None)

@@ -52,9 +52,13 @@ class RunIndex:
         """
         if end_key < begin_key or not self._keys:
             return None
-        # First candidate: the block whose first_key <= begin_key (it may
-        # contain begin_key), clamped to 0 for ranges before the run.
-        first = bisect.bisect_right(self._keys, begin_key) - 1
+        # First candidate: the block *before* the first whose first_key >=
+        # begin_key, clamped to 0 for ranges before the run.  bisect_left,
+        # not bisect_right: when begin_key equals some block's first key,
+        # records with that same key may spill backwards into the preceding
+        # block (a key run can straddle the boundary), so that block is a
+        # candidate too.
+        first = bisect.bisect_left(self._keys, begin_key) - 1
         if first < 0:
             first = 0
         # Last candidate: the last block whose first_key <= end_key.
@@ -73,3 +77,16 @@ class RunIndex:
 
     def first_key_of_block(self, block: int) -> int:
         return self._keys[block]
+
+    def keys_in_range(self, begin_key: int, end_key: int) -> list[int]:
+        """Block first-keys falling inside [begin, end] (sorted).
+
+        These are the candidate partition boundaries for the key-range
+        partitioned merge: splitting at a block's first key means the block
+        belongs wholly to one partition for the run that contributed it.
+        """
+        if end_key < begin_key or not self._keys:
+            return []
+        lo = bisect.bisect_left(self._keys, begin_key)
+        hi = bisect.bisect_right(self._keys, end_key)
+        return self._keys[lo:hi]

@@ -16,8 +16,10 @@ from __future__ import annotations
 import dataclasses
 import heapq
 from dataclasses import dataclass
+from itertools import chain
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
+from repro.core import kernels
 from repro.core.governor import STATE_HIGH
 from repro.core.masm import MaSM, MaSMConfig
 from repro.engine.record import Schema
@@ -154,6 +156,46 @@ class ShardedWarehouse:
             node.masm.range_scan(begin_key, end_key) for node in self.nodes
         ]
         return heapq.merge(*streams, key=self.schema.key)
+
+    def partitioned_range_scan(
+        self,
+        begin_key: int,
+        end_key: int,
+        blocks_per_partition: int = kernels.DEFAULT_BLOCKS_PER_PARTITION,
+    ) -> Iterator[tuple]:
+        """Key-range-partitioned fan-out scan over one global snapshot.
+
+        Draws ONE timestamp from the global oracle, then splits
+        ``[begin, end]`` at block boundaries harvested from every node's
+        run indexes (:func:`kernels.partition_points`).  Each partition
+        fans out to all nodes with the shared ``query_ts`` — so every
+        partition sees the same committed prefix even if flushes or
+        migrations land between partitions — merges key-ordered across
+        nodes, and partitions concatenate back into one ordered stream.
+        Partitions are the natural unit of scan parallelism; here they
+        run sequentially and each inner merge rides the columnar kernel
+        path of its node's MaSM.
+        """
+        query_ts = self.oracle.next()
+        indexes = [
+            run.index for node in self.nodes for run in node.masm.runs
+        ]
+        bounds = kernels.partition_points(
+            indexes, begin_key, end_key, blocks_per_partition
+        )
+
+        def scan_partition(lo: int, hi: Optional[int]) -> Iterator[tuple]:
+            part_hi = end_key if hi is None else hi
+            streams = [
+                node.masm.range_scan(lo, part_hi, query_ts=query_ts)
+                for node in self.nodes
+            ]
+            return heapq.merge(*streams, key=self.schema.key)
+
+        return chain.from_iterable(
+            scan_partition(lo, hi)
+            for lo, hi in kernels.partition_ranges(bounds, begin_key, end_key)
+        )
 
     def measure_scan(self, begin_key: int, end_key: int) -> TimeBreakdown:
         """Run a fan-out scan and return the cross-node critical path."""

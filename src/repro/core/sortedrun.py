@@ -17,14 +17,24 @@ from bisect import bisect_left, bisect_right
 from itertools import islice
 from typing import Iterable, Iterator, Optional
 
-from repro.core.blockcache import DecodedBlock, DecodedBlockCache
+from repro.core.blockcache import DecodedBlockCache
 from repro.core.runindex import COARSE_GRANULARITY, RunIndex
-from repro.core.update import BLOCK_HEADER, UpdateCodec, UpdateRecord
+from repro.core.update import (
+    BLOCK_HEADER,
+    ColumnarBlock,
+    UpdateCodec,
+    UpdateRecord,
+)
 from repro.errors import ChecksumError, StorageError
 from repro.obs.registry import get_registry
 from repro.storage import checksum as _checksum
 from repro.storage.file import SimFile, StorageVolume
 from repro.util.units import MB, ceil_div
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 _BLOCK_HEADER = BLOCK_HEADER  # record count (framing owned by the codec)
 
@@ -159,13 +169,71 @@ class MaterializedSortedRun:
         # them coalesced, disjoint, and sorted, so membership is one bisect.
         migrated = list(self.migrated_ranges)
         migrated_starts = [lo for lo, _ in migrated] if migrated else None
+        for _, entry in self._iter_decoded_blocks(
+            first_block, last_block, cache, stats
+        ):
+            records = entry.records()
+            keys = entry.key_list()
+            if not keys:
+                continue
+            if keys[0] > end_key:
+                return  # blocks are key-ordered: nothing further matches
+            lo = 0
+            if keys[0] < begin_key:
+                lo = bisect_left(keys, begin_key)
+            if after is not None:
+                after_key, after_ts = after
+                pos = bisect_left(keys, after_key, lo)
+                while (
+                    pos < len(keys)
+                    and keys[pos] == after_key
+                    and records[pos].timestamp <= after_ts
+                ):
+                    pos += 1
+                lo = pos
+            hi = len(keys)
+            if keys[-1] > end_key:
+                hi = bisect_right(keys, end_key, lo)
+            if lo >= hi:
+                continue
+            if query_ts is None and migrated_starts is None:
+                if lo == 0 and hi == len(records):
+                    yield from records
+                else:
+                    yield from records[lo:hi]
+            else:
+                for i in range(lo, hi):
+                    update = records[i]
+                    if query_ts is not None and update.timestamp > query_ts:
+                        continue
+                    if migrated_starts is not None:
+                        j = bisect_right(migrated_starts, keys[i]) - 1
+                        if j >= 0 and keys[i] <= migrated[j][1]:
+                            continue
+                    yield update
+
+    def _iter_decoded_blocks(
+        self,
+        first_block: int,
+        last_block: int,
+        cache: Optional[DecodedBlockCache],
+        stats,
+    ) -> Iterator[tuple[int, ColumnarBlock]]:
+        """Yield (block_no, ColumnarBlock) over a block range, in order.
+
+        The shared loading core of :meth:`scan` and :meth:`slice_columns`:
+        cache lookups first, then batched SSD reads for the misses, each
+        block checksum-verified before anything is yielded from it.  Yielded
+        entries are lazy — neither columns nor records are materialized
+        here, so each consumer pays only for the forms it touches.
+        """
         block_size = self.block_size
         name = self.name
         block = first_block
         while block <= last_block:
             group_end = min(block + READ_BATCH_BLOCKS - 1, last_block)
             group = range(block, group_end + 1)
-            decoded: dict[int, DecodedBlock] = {}
+            decoded: dict[int, ColumnarBlock] = {}
             if cache is not None:
                 missing = []
                 for b in group:
@@ -180,57 +248,103 @@ class MaterializedSortedRun:
                 requests = [(b * block_size, block_size) for b in missing]
                 for b, data in zip(missing, self.file.read_batch(requests)):
                     _checksum.verify(data, context=f"run {name!r} block {b}")
-                    entry = self._decode_block_batch(data)
+                    entry = ColumnarBlock(data, self.codec)
                     if stats is not None:
                         stats.blocks_decoded += 1
                     if cache is not None:
                         cache.put(name, b, entry)
                     decoded[b] = entry
             for b in group:
-                keys, records = decoded[b]
-                if not keys:
-                    continue
-                if keys[0] > end_key:
-                    return  # blocks are key-ordered: nothing further matches
-                lo = 0
-                if keys[0] < begin_key:
-                    lo = bisect_left(keys, begin_key)
-                if after is not None:
-                    after_key, after_ts = after
-                    pos = bisect_left(keys, after_key, lo)
+                yield b, decoded[b]
+            block = group_end + 1
+
+    def slice_columns(
+        self,
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int] = None,
+        after: Optional[tuple[int, int]] = None,
+        cache: Optional[DecodedBlockCache] = None,
+        stats=None,
+    ):
+        """Columnar form of :meth:`scan`: the run's contribution to one key
+        partition as (keys, timestamps, records) — int64 arrays plus the
+        aligned record *object ndarray*, all filters already applied.
+
+        This is what the merge kernels consume (one call per partition per
+        run).  Returns None when the partition is empty for this run.
+        Requires numpy; callers gate on :func:`repro.core.kernels.enabled`.
+        Raises the same :class:`ChecksumError`/:class:`TransientIOError` a
+        scan would — but always *before* any data escapes (the whole slice
+        is built atomically), so the caller can swap in the fallback stream
+        from the last partition boundary.
+        """
+        span = self.index.block_span(begin_key, end_key)
+        if span is None:
+            return None
+        first_block, last_block = span
+        migrated = list(self.migrated_ranges)
+        key_parts = []
+        ts_parts = []
+        rec_parts = []
+        for _, entry in self._iter_decoded_blocks(
+            first_block, last_block, cache, stats
+        ):
+            if not entry.count:
+                continue
+            keys = entry.keys
+            if keys[0] > end_key:
+                break  # blocks are key-ordered: nothing further matches
+            lo = 0
+            if keys[0] < begin_key:
+                lo = int(_np.searchsorted(keys, begin_key, side="left"))
+            hi = len(keys)
+            if keys[hi - 1] > end_key:
+                hi = int(_np.searchsorted(keys, end_key, side="right"))
+            if after is not None and lo < hi:
+                after_key, after_ts = after
+                if keys[lo] <= after_key:
+                    ts = entry.timestamps
+                    pos = int(_np.searchsorted(keys, after_key, side="left"))
+                    pos = max(pos, lo)
                     while (
-                        pos < len(keys)
+                        pos < hi
                         and keys[pos] == after_key
-                        and records[pos].timestamp <= after_ts
+                        and ts[pos] <= after_ts
                     ):
                         pos += 1
                     lo = pos
-                hi = len(keys)
-                if keys[-1] > end_key:
-                    hi = bisect_right(keys, end_key, lo)
-                if lo >= hi:
-                    continue
-                if query_ts is None and migrated_starts is None:
-                    if lo == 0 and hi == len(records):
-                        yield from records
-                    else:
-                        yield from records[lo:hi]
-                else:
-                    for i in range(lo, hi):
-                        update = records[i]
-                        if query_ts is not None and update.timestamp > query_ts:
-                            continue
-                        if migrated_starts is not None:
-                            j = bisect_right(migrated_starts, keys[i]) - 1
-                            if j >= 0 and keys[i] <= migrated[j][1]:
-                                continue
-                        yield update
-            block = group_end + 1
-
-    def _decode_block_batch(self, data: bytes) -> DecodedBlock:
-        """Decode one raw block into its cacheable (keys, records) form."""
-        records = self.codec.decode_block(data)
-        return [u.key for u in records], records
+            if lo >= hi:
+                continue
+            key_parts.append(keys[lo:hi])
+            ts_parts.append(entry.timestamps[lo:hi])
+            rec_parts.append(entry.records_arr()[lo:hi])
+        if not key_parts:
+            return None
+        if len(key_parts) == 1:
+            keys, ts, records = key_parts[0], ts_parts[0], rec_parts[0]
+        else:
+            keys = _np.concatenate(key_parts)
+            ts = _np.concatenate(ts_parts)
+            records = _np.concatenate(rec_parts)
+        mask = None
+        if query_ts is not None:
+            visible = ts <= query_ts
+            if not visible.all():
+                mask = visible
+        if migrated:
+            for m_lo, m_hi in migrated:
+                inside = (keys >= m_lo) & (keys <= m_hi)
+                if inside.any():
+                    outside = ~inside
+                    mask = outside if mask is None else (mask & outside)
+        if mask is not None:
+            keys = keys[mask]
+            ts = ts[mask]
+            records = records[mask]
+        if not len(keys):
+            return None
+        return keys, ts, records
 
     def scan_records(
         self,

@@ -17,12 +17,18 @@ table scan.
 from __future__ import annotations
 
 import struct
+from array import array
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional, Sequence
 
 from repro.engine.record import Schema
 from repro.errors import ReproError
+
+try:  # numpy backs the SoA fast path; everything degrades without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via MASM_DISABLE_KERNELS
+    _np = None
 
 
 class UpdateConflictError(ReproError):
@@ -326,3 +332,224 @@ class UpdateCodec:
                 content = changes
             append(record(timestamp, key, types[type_raw], content))
         return records
+
+    # --------------------------------------------------------------- SoA API
+    def block_columns(self, data: bytes, offset: int, count: int):
+        """Column arrays for one encoded block: (keys, timestamps, ops,
+        header offsets).
+
+        Keys and timestamps come back as signed-64 arrays (numpy when
+        available, ``array('q')`` otherwise), op codes as an unsigned-byte
+        array, and ``offsets`` holds each record's header position in
+        ``data`` plus one end sentinel (``count + 1`` entries), so record
+        ``i``'s payload spans ``[offsets[i] + header, offsets[i + 1])``.
+
+        Blocks written by :meth:`encode_block` from INSERT/REPLACE-only
+        streams have a uniform record stride (header + packed record), which
+        a vectorized validation detects exactly: record 0's header position
+        is true by framing, and each record whose payload length matches the
+        schema's record size fixes the next record's position — so if every
+        op code is INSERT/REPLACE and every payload length equals the record
+        size under the assumed stride, the layout *is* uniform by induction.
+        Mixed blocks fall back to a sequential header walk (no payload
+        decode either way).
+        """
+        base = offset + BLOCK_HEADER.size
+        head_size = self._HEAD.size
+        rec_size = self._record_struct.size
+        stride = head_size + rec_size
+        if _np is not None and count:
+            end = base + count * stride
+            if end <= len(data):
+                raw = _np.frombuffer(
+                    data, dtype=_np.uint8, count=count * stride, offset=base
+                ).reshape(count, stride)
+                ops = raw[:, 16].copy()
+                plens = raw[:, 17:21].copy().view("<u4").ravel()
+                if ((ops == 0) | (ops == 3)).all() and (plens == rec_size).all():
+                    timestamps = raw[:, 0:8].copy().view("<i8").ravel()
+                    keys = raw[:, 8:16].copy().view("<i8").ravel()
+                    offsets = base + stride * _np.arange(
+                        count + 1, dtype=_np.int64
+                    )
+                    return keys, timestamps, ops, offsets
+        keys = array("q")
+        timestamps = array("q")
+        ops = bytearray()
+        offsets = array("q")
+        head_unpack = self._HEAD.unpack_from
+        pos = base
+        for _ in range(count):
+            ts, key, op, payload_len = head_unpack(data, pos)
+            timestamps.append(ts)
+            keys.append(key)
+            ops.append(op)
+            offsets.append(pos)
+            pos += head_size + payload_len
+        offsets.append(pos)
+        if _np is not None:
+            return (
+                _np.frombuffer(keys, dtype=_np.int64),
+                _np.frombuffer(timestamps, dtype=_np.int64),
+                _np.frombuffer(bytes(ops), dtype=_np.uint8),
+                _np.frombuffer(offsets, dtype=_np.int64),
+            )
+        return keys, timestamps, bytes(ops), offsets
+
+    def decode_block_soa(self, data: bytes, offset: int = 0) -> "ColumnarBlock":
+        """Decode one block into its structure-of-arrays form.
+
+        The sibling of :meth:`decode_block`: instead of a list of
+        :class:`UpdateRecord` objects it returns a :class:`ColumnarBlock`
+        whose key/timestamp/op/offset columns are materialized immediately
+        while the record objects stay lazy (built on the first
+        :meth:`ColumnarBlock.records` call, at the scan/join boundary).
+        """
+        block = ColumnarBlock(data, self, offset)
+        block.columns()
+        return block
+
+
+#: Estimated Python-heap bytes per materialized UpdateRecord beyond its
+#: encoded payload (object header, per-instance dict, content tuple).  Used
+#: by the decoded-block cache's byte accounting; an estimate, but a far
+#: better one than the encoded block size used before.
+RECORD_OBJECT_OVERHEAD = 176
+
+#: Estimated bytes per entry of a materialized Python key list (list slot
+#: plus a small-int-or-boxed-int object).
+KEY_LIST_ENTRY_BYTES = 40
+
+
+class ColumnarBlock:
+    """Structure-of-arrays view of one encoded update block.
+
+    Holds the verified raw block bytes plus lazily materialized derived
+    forms, each built at most once:
+
+    * :meth:`columns` — parallel key / timestamp / op-code / header-offset
+      arrays (``int64``/``uint8``), the form the merge kernels consume;
+    * :meth:`records` — the block's :class:`UpdateRecord` list (the legacy
+      scan form), materialized only at the scan/join boundary;
+    * :meth:`key_list` — a plain Python key list for ``bisect``-based
+      block-local searches.
+
+    Instances are what :class:`repro.core.blockcache.DecodedBlockCache`
+    stores; :attr:`nbytes` reports the entry's current decoded footprint so
+    the cache's byte accounting tracks lazy materialization as it happens.
+    """
+
+    __slots__ = (
+        "data",
+        "offset",
+        "count",
+        "codec",
+        "_cols",
+        "_records",
+        "_recarr",
+        "_keys",
+    )
+
+    def __init__(self, data: bytes, codec: UpdateCodec, offset: int = 0) -> None:
+        (self.count,) = BLOCK_HEADER.unpack_from(data, offset)
+        self.data = data
+        self.offset = offset
+        self.codec = codec
+        self._cols = None
+        self._records: Optional[list[UpdateRecord]] = None
+        self._recarr = None
+        self._keys: Optional[list[int]] = None
+
+    def columns(self):
+        """(keys, timestamps, ops, offsets) column arrays; built once."""
+        if self._cols is None:
+            self._cols = self.codec.block_columns(self.data, self.offset, self.count)
+        return self._cols
+
+    @property
+    def keys(self):
+        return self.columns()[0]
+
+    @property
+    def timestamps(self):
+        return self.columns()[1]
+
+    @property
+    def ops(self):
+        return self.columns()[2]
+
+    @property
+    def payload_offsets(self):
+        return self.columns()[3]
+
+    def records(self) -> list[UpdateRecord]:
+        """The block's UpdateRecord list (lazy, memoized)."""
+        if self._records is None:
+            self._records = self.codec.decode_block(self.data, self.offset)
+        return self._records
+
+    def records_arr(self):
+        """The record list as an object ndarray (lazy, memoized).
+
+        The merge kernels gather surviving records with one fancy-index
+        operation over these arrays (pointer copies) instead of a Python
+        list comprehension per merge; slicing them is zero-copy.  Requires
+        numpy (kernel-path callers are already gated on it).
+        """
+        if self._recarr is None:
+            records = self.records()
+            arr = _np.empty(len(records), dtype=object)
+            arr[:] = records
+            self._recarr = arr
+        return self._recarr
+
+    def key_list(self) -> list[int]:
+        """Plain Python key list for bisect searches (lazy, memoized)."""
+        if self._keys is None:
+            if self._records is not None:
+                self._keys = [u.key for u in self._records]
+            elif self._cols is not None or _np is not None:
+                col = self.columns()[0]
+                self._keys = col.tolist() if hasattr(col, "tolist") else list(col)
+            else:
+                self._keys = [u.key for u in self.records()]
+        return self._keys
+
+    @property
+    def encoded_size(self) -> int:
+        """The on-SSD footprint this entry replaces (the old accounting)."""
+        return len(self.data) - self.offset
+
+    @property
+    def nbytes(self) -> int:
+        """Current decoded footprint: raw bytes + every materialized form."""
+        total = len(self.data) - self.offset
+        cols = self._cols
+        if cols is not None:
+            for col in cols:
+                nb = getattr(col, "nbytes", None)
+                if nb is None:
+                    nb = len(col) * getattr(col, "itemsize", 1)
+                total += nb
+        if self._records is not None:
+            total += self.count * RECORD_OBJECT_OVERHEAD + self.encoded_size
+        if self._recarr is not None:
+            total += self._recarr.nbytes
+        if self._keys is not None:
+            total += self.count * KEY_LIST_ENTRY_BYTES
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        forms = [
+            name
+            for name, present in (
+                ("cols", self._cols is not None),
+                ("records", self._records is not None),
+                ("keys", self._keys is not None),
+            )
+            if present
+        ]
+        return (
+            f"ColumnarBlock({self.count} records, {self.nbytes}B, "
+            f"materialized: {'+'.join(forms) or 'none'})"
+        )

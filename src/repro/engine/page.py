@@ -81,6 +81,22 @@ class SlottedPage:
         self._slots.append((offset, len(record)))
         return len(self._slots) - 1
 
+    def contiguous_record_bytes(self, record_size: int) -> "bytes | None":
+        """The page's records as one contiguous byte run, or None.
+
+        Succeeds only when every slot is live, ``record_size`` long, and laid
+        out back-to-back in slot order — true for bulk-loaded pages and
+        preserved by same-length in-place replacement.  Lets the chunked
+        scan batch-decode the whole page (``Schema.unpack_many``) instead of
+        slot-at-a-time.
+        """
+        expected = self._heap_base
+        for offset, length in self._slots:
+            if offset != expected or length != record_size:
+                return None
+            expected += record_size
+        return bytes(self._heap[: len(self._slots) * record_size])
+
     def get(self, slot: int) -> bytes:
         offset, length = self._slot_entry(slot)
         if offset == TOMBSTONE:

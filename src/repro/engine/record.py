@@ -71,6 +71,9 @@ class Schema:
         self.key_pos = self._index[self.key_field]
         self._struct = struct.Struct("<" + "".join(f.struct_code() for f in self.fields))
         self.record_size = self._struct.size
+        self._string_positions = tuple(
+            i for i, f in enumerate(self.fields) if f.is_string
+        )
 
     # ----------------------------------------------------------- field access
     def index_of(self, name: str) -> int:
@@ -128,6 +131,33 @@ class Schema:
     def pack_many(self, records: Iterable[Sequence]) -> bytes:
         """Serialize records back-to-back (bulk-load fast path)."""
         return b"".join(self.pack(r) for r in records)
+
+    def unpack_many(self, data: bytes) -> list[tuple]:
+        """Deserialize back-to-back fixed-width records in one pass.
+
+        The batch counterpart of :meth:`unpack` (``Struct.iter_unpack``
+        instead of one ``unpack`` call per record) — what the chunked table
+        scan uses to decode a whole page of contiguous records at once.
+        """
+        if len(data) % self.record_size:
+            raise SchemaError(
+                f"{len(data)} bytes is not a multiple of the "
+                f"{self.record_size}-byte record size"
+            )
+        it = self._struct.iter_unpack(data)
+        spos = self._string_positions
+        if not spos:
+            return list(it)
+        if len(self.fields) == 2 and spos == (1,):
+            # The paper's synthetic layout (int key + padded string payload).
+            return [(a, b.rstrip(b"\x00").decode("utf-8")) for a, b in it]
+        out = []
+        for values in it:
+            lst = list(values)
+            for i in spos:
+                lst[i] = lst[i].rstrip(b"\x00").decode("utf-8")
+            out.append(tuple(lst))
+        return out
 
     def apply_modification(self, record: tuple, changes: dict) -> tuple:
         """Return a copy of ``record`` with named fields set to new values."""

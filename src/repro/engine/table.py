@@ -9,7 +9,9 @@ Section 2.2 measures.
 
 from __future__ import annotations
 
+import bisect
 import heapq
+from operator import itemgetter
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.engine.btree import BPlusTree
@@ -135,7 +137,7 @@ class Table:
             count += 1
             yield record
         if self.cpu is not None and count:
-            self.cpu.charge(count * SCAN_CPU_PER_RECORD)
+            self.cpu.charge(count * SCAN_CPU_PER_RECORD, kind="scan")
 
     def _overflow_range(self, begin_key: int, end_key: int) -> Iterator[tuple]:
         for _, record in self._overflow.range(begin_key, end_key):
@@ -175,7 +177,70 @@ class Table:
             count += 1
             yield pair
         if self.cpu is not None and count:
-            self.cpu.charge(count * SCAN_CPU_PER_RECORD)
+            self.cpu.charge(count * SCAN_CPU_PER_RECORD, kind="scan")
+
+    def range_scan_pair_chunks(
+        self, begin_key: int, end_key: int
+    ) -> Iterator[tuple[list, int]]:
+        """Page-at-a-time form of :meth:`range_scan_pairs`.
+
+        Yields ``(records, page_timestamp)`` chunks — one per data page,
+        records key-sorted within the chunk and chunks in key order — for
+        the batch outer join (:class:`~repro.core.operators.MergeDataUpdates`
+        with ``data_chunks``).  Pages still in their bulk-loaded contiguous
+        layout are decoded with one ``Schema.unpack_many`` call instead of a
+        record-at-a-time loop.  When overflow records exist the page/overflow
+        interleave falls back to chunking :meth:`range_scan_pairs` (whose
+        per-record timestamps then ride in a list).
+        """
+        if self.overflow_count or self.heap.num_pages == 0 or self.index.is_empty:
+            pairs = self.range_scan_pairs(begin_key, end_key)
+            while True:
+                records: list = []
+                ts: list[int] = []
+                for record, page_ts in pairs:
+                    records.append(record)
+                    ts.append(page_ts)
+                    if len(records) >= 1024:
+                        break
+                if not records:
+                    return
+                yield records, ts
+            return
+        first, last = self.index.page_span(begin_key, end_key)
+        kp = self.schema.key_pos
+        count = 0
+        done = False
+        for _, page in self.heap.scan_pages(first, last):
+            records = self._page_records_batch(page)
+            if not records:
+                continue
+            if records[0][kp] < begin_key:
+                keys = [r[kp] for r in records]
+                records = records[bisect.bisect_left(keys, begin_key) :]
+                if not records:
+                    continue
+            if records[-1][kp] > end_key:
+                keys = [r[kp] for r in records]
+                records = records[: bisect.bisect_right(keys, end_key)]
+                done = True
+            if records:
+                count += len(records)
+                yield records, page.timestamp
+            if done:
+                break
+        if self.cpu is not None and count:
+            self.cpu.charge_batch(count, SCAN_CPU_PER_RECORD, kind="scan")
+
+    def _page_records_batch(self, page: SlottedPage) -> list[tuple]:
+        """A page's records, key-sorted, batch-decoded when contiguous."""
+        data = page.contiguous_record_bytes(self.schema.record_size)
+        if data is None:
+            records = [self.schema.unpack(d) for _, d in page.records()]
+        else:
+            records = self.schema.unpack_many(data)
+        records.sort(key=itemgetter(self.schema.key_pos))
+        return records
 
     def scan_page_range(
         self, begin_key: Optional[int] = None, end_key: Optional[int] = None

@@ -24,6 +24,17 @@ SCENARIOS = {
     "heavy": lambda: replace(
         SimConfig.canonical(), updaters=2, scanners=2, update_ops=60
     ),
+    # Columnar-kernel stress: enough updates to materialize multi-block
+    # runs, a tiny partition size so every scan's merge splits into several
+    # kernel partitions, and extra scanners so partition boundaries meet
+    # concurrent flush/migration steps.
+    "kernels": lambda: replace(
+        SimConfig.canonical(),
+        scanners=2,
+        update_ops=80,
+        flush_ops=6,
+        kernel_partition_blocks=1,
+    ),
 }
 
 

@@ -56,6 +56,11 @@ class SimConfig:
     migrate_ops: int = 3
     crasher_idle: int = 10
     txns: int = 3
+    #: Run-index blocks per kernel merge partition (None = library default).
+    #: The ``kernels`` scenario sets this tiny so even the simulation's
+    #: small runs split into several partitions, exercising the partition
+    #: boundaries under flush/migration interleave.
+    kernel_partition_blocks: Optional[int] = None
 
     @property
     def key_universe(self) -> int:
@@ -112,6 +117,7 @@ class SimEnv:
             ssd_page_size=config.ssd_page_size,
             block_size=config.block_size,
             cache_bytes=config.cache_bytes,
+            kernel_blocks_per_partition=config.kernel_partition_blocks,
             auto_migrate=False,
             # All migration happens through explicitly scheduled actor
             # steps (migrate_step / make_room): no hidden trickle work.

@@ -71,6 +71,85 @@ def test_stats_sink_receives_counts():
     assert sink.block_cache_evictions == 1
 
 
+# ------------------------------------------------------- byte accounting
+def _columnar_entry(n=50):
+    ups = [
+        UpdateRecord(i + 1, i * 2, UpdateType.INSERT, (i * 2, f"v{i}"))
+        for i in range(n)
+    ]
+    from repro.core.update import ColumnarBlock
+
+    return ColumnarBlock(CODEC.encode_block(ups), CODEC)
+
+
+def test_resident_bytes_track_lazy_materialization():
+    pytest.importorskip("numpy")
+    cache = DecodedBlockCache(8)
+    entry = _columnar_entry()
+    cache.put("r", 0, entry)
+    charged_at_insert = cache.resident_bytes
+    assert charged_at_insert == entry.nbytes
+    # Materialize the lazy forms: columns, record list, object array.
+    entry.records()
+    entry.records_arr()
+    entry.key_list()
+    assert entry.nbytes > charged_at_insert
+    # The next hit re-reads nbytes and picks up the growth.
+    assert cache.get("r", 0) is entry
+    assert cache.resident_bytes == entry.nbytes
+
+
+def test_capacity_bytes_evicts_on_decoded_footprint():
+    pytest.importorskip("numpy")
+    one = _columnar_entry()
+    # A byte ceiling below two decoded entries: inserting the second must
+    # evict the first even though the block count (8) has room.
+    cache = DecodedBlockCache(8, capacity_bytes=int(one.nbytes * 1.5))
+    cache.put("r", 0, one)
+    cache.put("r", 1, _columnar_entry())
+    assert len(cache) == 1
+    assert cache.evictions == 1
+    assert cache.get("r", 0) is None  # the LRU entry went
+
+
+def test_capacity_bytes_always_keeps_newest_entry():
+    pytest.importorskip("numpy")
+    entry = _columnar_entry()
+    cache = DecodedBlockCache(8, capacity_bytes=1)  # absurdly small
+    cache.put("r", 0, entry)
+    # One oversized entry stays resident (the scan needs it); it is evicted
+    # when the next block arrives.
+    assert len(cache) == 1
+    cache.put("r", 1, _columnar_entry())
+    assert len(cache) == 1
+    assert cache.get("r", 1) is not None
+
+
+def test_accounting_delta_gauge_published():
+    pytest.importorskip("numpy")
+    from repro import obs
+
+    with obs.use_registry() as registry:
+        cache = DecodedBlockCache(8)
+        entry = _columnar_entry()
+        cache.put("r", 0, entry)
+        entry.records()
+        entry.records_arr()
+        cache.get("r", 0)
+        gauges = {
+            g.name: g.value for g in [
+                registry.gauge("blockcache.resident_bytes"),
+                registry.gauge("blockcache.accounting_delta_bytes"),
+            ]
+        }
+        assert gauges["blockcache.resident_bytes"] == entry.nbytes
+        # Decoded footprint exceeds the old encoded-size approximation.
+        assert gauges["blockcache.accounting_delta_bytes"] == (
+            entry.nbytes - entry.encoded_size
+        )
+        assert gauges["blockcache.accounting_delta_bytes"] > 0
+
+
 # -------------------------------------------------------- cached run scans
 def test_warm_scan_skips_ssd_reads():
     vol = StorageVolume(SimulatedSSD(capacity=64 * MB))

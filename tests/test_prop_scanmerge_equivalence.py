@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.blockcache import DecodedBlockCache
-from repro.core.operators import MergeUpdates, merge_update_streams
+from repro.core.operators import MergeUpdates, RunScan, merge_update_streams
 from repro.core.sortedrun import write_run
 from repro.core.update import UpdateCodec, UpdateRecord, UpdateType
 from repro.engine.record import synthetic_schema
@@ -172,3 +172,20 @@ def test_merged_runs_scan_equivalence(data, updates):
             )
         )
         assert encoded(fast) == encoded(reference)
+
+    # RunScan-object sources additionally unlock the columnar kernel path
+    # (partitioned array-at-a-time merge) when numpy is available; generator
+    # sources above exercise the record-at-a-time batch path.  Both must
+    # match the reference exactly.
+    for blocks_per_partition in (1, 32):
+        kernel = list(
+            MergeUpdates(
+                [
+                    RunScan(run, begin, end, query_ts, cache=cache)
+                    for run in runs
+                ],
+                SCHEMA,
+                blocks_per_partition=blocks_per_partition,
+            )
+        )
+        assert encoded(kernel) == encoded(reference)

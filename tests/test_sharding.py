@@ -54,6 +54,33 @@ def test_fanout_scan_is_key_ordered_and_complete():
     assert keys == [i * 2 for i in range(500)]
 
 
+def test_partitioned_scan_matches_fanout_scan():
+    wh = make(3, 500)
+    # Mixed cached updates across nodes so runs (and their indexes) exist.
+    for i in range(200):
+        wh.insert((i * 4 + 1, f"new-{i}"))
+    for i in range(50):
+        wh.modify(i * 8, {"payload": f"patched-{i}"})
+    for node in wh.nodes:
+        node.masm.flush_buffer()
+    reference = list(wh.range_scan(0, 10**9))
+    # Tiny partitions: the scan actually splits into several key ranges.
+    partitioned = list(wh.partitioned_range_scan(0, 10**9, blocks_per_partition=1))
+    assert partitioned == reference
+    keys = [SCHEMA.key(r) for r in partitioned]
+    assert keys == sorted(keys)
+
+
+def test_partitioned_scan_uses_one_snapshot_timestamp():
+    wh = make(2, 100)
+    wh.insert((11, "cached"))
+    before = wh.oracle.current
+    list(wh.partitioned_range_scan(0, 10**9))
+    # One global timestamp per partitioned scan, however many partitions
+    # and per-node scans it fans out into.
+    assert wh.oracle.current == before + 1
+
+
 def test_updates_route_and_remain_visible():
     wh = make(3, 400)
     wh.insert((801, "new"))
