@@ -26,6 +26,8 @@ from repro.bench.figures import (
     hdd_cache,
     latency_stability,
     lsm_write_amplification,
+    noisy_neighbor,
+    serving_scale,
     theorem_writes,
 )
 
@@ -58,6 +60,8 @@ ALL_DRIVERS = {
         "hdd-cache": hdd_cache.run,
         "latency-stability": latency_stability.run,
         "lsm-write-amplification": lsm_write_amplification.run,
+        "noisy-neighbor": noisy_neighbor.run,
+        "serving-scale": serving_scale.run,
         "theorem-writes": theorem_writes.run,
         "ablation-materialization": ablations.run_materialization,
         "ablation-skew": ablations.run_skew,

@@ -209,7 +209,14 @@ class TokenBucket:
         self.refill(now)
         if self._tokens >= 1.0:
             return 0.0
-        return (1.0 - self._tokens) / self.rate
+        wait = (1.0 - self._tokens) / self.rate
+        # At tiny deficits the quotient can fall below one ULP of ``now``;
+        # a caller that parks until ``now + wait`` would then wake at the
+        # same float instant with the same deficit, forever.  Round up
+        # until the wait moves the clock to a strictly later instant.
+        while wait and now + wait == now:
+            wait *= 2.0
+        return wait
 
     def force_take(self, now: float) -> None:
         """Consume one token even if it drives the balance negative.

@@ -24,10 +24,12 @@ from repro.core.governor import STATE_HIGH
 from repro.core.masm import MaSM, MaSMConfig
 from repro.engine.record import Schema
 from repro.engine.table import Table
+from repro.storage.clock import SimClock
 from repro.storage.disk import SimulatedDisk
 from repro.storage.file import StorageVolume
 from repro.storage.iosched import CpuMeter, OverlapWindow, TimeBreakdown
 from repro.storage.ssd import SimulatedSSD
+from repro.txn.log import RedoLog
 from repro.txn.timestamps import TimestampOracle
 from repro.util.units import MB
 
@@ -80,17 +82,45 @@ class ShardedWarehouse:
         disk_capacity: int = 256 * MB,
         ssd_capacity: int = 8 * MB,
         masm_config: Optional[MaSMConfig] = None,
+        clock: Optional[SimClock] = None,
+        wrap_device: Optional[Callable[[str, object], object]] = None,
+        attach_logs: bool = False,
     ) -> None:
+        """Build ``num_nodes`` shared-nothing nodes behind one router.
+
+        ``clock`` shares ONE simulated timeline across every node's devices
+        — the serving layer needs a single clock for session arrivals and
+        latency accounting; leave it ``None`` for the legacy per-node
+        timelines (``measure_scan``'s parallel critical path).
+
+        ``wrap_device`` is the fault-injection hook: it is called as
+        ``wrap_device("disk-0", device)`` / ``wrap_device("ssd-0", device)``
+        for every node device and its return value is used instead — wrap
+        a node's SSD in a :class:`~repro.storage.faults.FaultyDevice` to
+        test degraded fan-out scans.
+
+        ``attach_logs`` gives every node a local redo log on its SSD
+        volume, enabling the quarantine + log-fallback read path when a
+        shard's run blocks fail checksum verification mid-scan.
+        """
         if num_nodes < 1:
             raise ValueError("need at least one node")
         self.schema = schema
         self.route = partitioner or hash_partitioner(num_nodes)
         self.oracle = TimestampOracle()  # global commit order
+        #: The shared timeline, or None when every node keeps its own (the
+        #: legacy layout measure_scan's parallel critical path relies on).
+        self.clock: Optional[SimClock] = clock
+        shared_clock = clock
         self.nodes: list[ShardNode] = []
         for node_id in range(num_nodes):
-            disk = SimulatedDisk(capacity=disk_capacity)
-            ssd = SimulatedSSD(capacity=ssd_capacity)
+            disk = SimulatedDisk(capacity=disk_capacity, clock=shared_clock)
+            ssd = SimulatedSSD(capacity=ssd_capacity, clock=shared_clock)
+            if wrap_device is not None:
+                disk = wrap_device(f"disk-{node_id}", disk)
+                ssd = wrap_device(f"ssd-{node_id}", ssd)
             cpu = CpuMeter()
+            ssd_volume = StorageVolume(ssd)
             table = Table.create(
                 StorageVolume(disk),
                 f"shard-{node_id}",
@@ -107,12 +137,16 @@ class ShardedWarehouse:
             )
             masm = MaSM(
                 table,
-                StorageVolume(ssd),
+                ssd_volume,
                 config=config,
                 oracle=self.oracle,
                 cpu=cpu,
                 name=f"masm-shard-{node_id}",
             )
+            if attach_logs:
+                masm.attach_log(
+                    RedoLog(ssd_volume.create(f"wal-{node_id}", ssd.capacity // 4))
+                )
             self.nodes.append(ShardNode(node_id, disk, ssd, table, masm, cpu))
 
     @property
@@ -145,15 +179,25 @@ class ShardedWarehouse:
         return self.nodes[self.route(key)].masm.modify(key, changes)
 
     # ---------------------------------------------------------------- scans
-    def range_scan(self, begin_key: int, end_key: int) -> Iterator[tuple]:
+    def range_scan(
+        self,
+        begin_key: int,
+        end_key: int,
+        query_ts: Optional[int] = None,
+    ) -> Iterator[tuple]:
         """Fan the scan out to every node; merge into one key-ordered stream.
 
         Nodes execute in parallel in a real deployment; here each node's
         I/O lands on its own simulated devices, so :meth:`measure_scan`
-        reports the parallel critical path.
+        reports the parallel critical path.  ``query_ts`` pins the scan to
+        one already-drawn snapshot timestamp (the serving router's unit of
+        isolation); by default every node scans at a fresh shared one.
         """
+        if query_ts is None:
+            query_ts = self.oracle.next()
         streams = [
-            node.masm.range_scan(begin_key, end_key) for node in self.nodes
+            node.masm.range_scan(begin_key, end_key, query_ts=query_ts)
+            for node in self.nodes
         ]
         return heapq.merge(*streams, key=self.schema.key)
 
@@ -162,6 +206,7 @@ class ShardedWarehouse:
         begin_key: int,
         end_key: int,
         blocks_per_partition: int = kernels.DEFAULT_BLOCKS_PER_PARTITION,
+        query_ts: Optional[int] = None,
     ) -> Iterator[tuple]:
         """Key-range-partitioned fan-out scan over one global snapshot.
 
@@ -174,9 +219,11 @@ class ShardedWarehouse:
         nodes, and partitions concatenate back into one ordered stream.
         Partitions are the natural unit of scan parallelism; here they
         run sequentially and each inner merge rides the columnar kernel
-        path of its node's MaSM.
+        path of its node's MaSM.  ``query_ts`` pins the whole fan-out to a
+        caller-drawn snapshot (one timestamp per serving request).
         """
-        query_ts = self.oracle.next()
+        if query_ts is None:
+            query_ts = self.oracle.next()
         indexes = [
             run.index for node in self.nodes for run in node.masm.runs
         ]

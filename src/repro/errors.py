@@ -79,6 +79,23 @@ class BackpressureError(ReproError):
     """
 
 
+class QuotaExceededError(BackpressureError):
+    """A tenant exhausted its admission quota at the serving front door.
+
+    Raised before the request touches any shard, so a rejected query does
+    no work and holds no snapshot.  The error is *retryable*: it carries the
+    simulated time until the tenant's token bucket accrues a token, so a
+    well-behaved client backs off for ``retry_after`` seconds and retries.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, tenant: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
 class TransactionError(ReproError):
     """A transaction violated the concurrency-control protocol."""
 

@@ -163,6 +163,7 @@ class Histogram:
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             "reservoir_size": len(self._samples),
             "reservoir_stride": self._stride,
         }

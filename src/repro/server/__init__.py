@@ -1,0 +1,48 @@
+"""Multi-tenant query serving over the MaSM engine.
+
+The serving layer turns the single-caller :class:`ShardedWarehouse` into a
+query *service*: a session manager drives thousands of simulated clients
+(open-loop Poisson/bursty and closed-loop think-time) on one shared
+:class:`SimClock`; a request router executes each admitted request under
+exactly one snapshot timestamp via the key-range-partitioned fan-out/merge
+executor; per-tenant token-bucket quotas decide, per request, between
+ADMIT, DELAY (a reschedule interval — the event loop never blocks) and
+SHED (a typed retryable :class:`~repro.errors.QuotaExceededError`).  All
+outcomes land in ``repro.obs`` so every run exports per-tenant
+p50/p99/p999 latency surfaces, queue depths and shed/delay counters.
+"""
+
+from repro.server.frontdoor import LATENCY_RESERVOIR, FrontDoor
+from repro.server.quotas import QuotaPolicy, TenantAdmission, TenantQuota
+from repro.server.router import (
+    QueryRequest,
+    QueryResult,
+    RequestRouter,
+    SingleEngineBackend,
+    WarehouseBackend,
+)
+from repro.server.session import (
+    ArrivalKind,
+    ServingStats,
+    SessionManager,
+    SessionMode,
+    SessionSpec,
+)
+
+__all__ = [
+    "ArrivalKind",
+    "FrontDoor",
+    "LATENCY_RESERVOIR",
+    "QueryRequest",
+    "QueryResult",
+    "QuotaPolicy",
+    "RequestRouter",
+    "ServingStats",
+    "SessionManager",
+    "SessionMode",
+    "SessionSpec",
+    "SingleEngineBackend",
+    "TenantAdmission",
+    "TenantQuota",
+    "WarehouseBackend",
+]

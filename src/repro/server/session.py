@@ -1,0 +1,331 @@
+"""Simulated client sessions and the serving event loop.
+
+Thousands of sessions share one simulated timeline.  The session manager
+keeps a min-heap of pending events — open-loop arrivals, closed-loop
+follow-ups, DELAY reschedules — and dispatches them in time order through
+the :class:`~repro.server.frontdoor.FrontDoor`.  Because the router is
+synchronous, a query occupies the server from dispatch to completion; any
+arrival whose instant falls inside that window waits in the heap, and its
+latency (completion minus *arrival*) records the backlog it sat through.
+That is the whole point of the open-loop clients: arrivals keep coming at
+their scheduled instants whether or not the server kept up, so overload
+shows up as queueing delay instead of being hidden by a polite client.
+
+Two client shapes (both deterministic functions of ``(spec, seed)``):
+
+* **open-loop** — arrival instants drawn from a Poisson or bursty process,
+  independent of completions (Luo & Carey's stability methodology);
+* **closed-loop** — each session issues its next request a think-time after
+  the previous response; a shed response backs off ``retry_after`` and
+  retries the same request up to ``max_retries`` times.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import QuotaExceededError
+from repro.server.frontdoor import FrontDoor
+from repro.server.router import QueryRequest
+from repro.workloads.synthetic import BurstyProcess, PoissonProcess
+
+#: How often (in dispatches) the manager samples the backlog depth.
+QUEUE_SAMPLE_STRIDE = 64
+
+
+class SessionMode(enum.Enum):
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+class ArrivalKind(enum.Enum):
+    POISSON = "poisson"
+    BURSTY = "bursty"
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A homogeneous group of sessions for one tenant."""
+
+    tenant: str
+    sessions: int
+    requests: int
+    mode: SessionMode = SessionMode.OPEN
+    #: Open-loop: per-session arrival rate (requests / simulated second).
+    rate: float = 1.0
+    arrivals: ArrivalKind = ArrivalKind.POISSON
+    #: Bursty arrivals: burst length and mean idle gap between bursts.
+    burst_len: int = 8
+    idle_seconds: float = 1.0
+    #: Closed-loop: mean think time between response and next request.
+    think_seconds: float = 0.2
+    #: Records per range query (keys step by 2 in the synthetic keyspace).
+    range_records: int = 64
+    #: Fraction of requests that are updates instead of range queries
+    #: (requires the manager's ``write_op``).
+    write_fraction: float = 0.0
+    #: Closed-loop retries after a shed response before dropping it.
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError(f"need >= 1 session, got {self.sessions}")
+        if self.requests < 1:
+            raise ValueError(f"need >= 1 request per session, got {self.requests}")
+        if self.mode is SessionMode.OPEN and self.rate <= 0:
+            raise ValueError(f"open-loop rate must be > 0, got {self.rate}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+
+
+class _Session:
+    """Mutable per-session state (internal to the manager)."""
+
+    __slots__ = (
+        "sid", "spec", "rng", "process", "arrivals", "issued", "waited", "retries"
+    )
+
+    def __init__(self, sid: int, spec: SessionSpec, seed) -> None:
+        self.sid = sid
+        self.spec = spec
+        self.rng = random.Random(f"{seed}:session:{sid}")
+        self.issued = 0
+        self.waited = 0.0  # DELAY budget consumed by the in-flight request
+        self.retries = 0
+        self.process = None
+        self.arrivals: Optional[Iterator[float]] = None
+        if spec.mode is SessionMode.OPEN:
+            if spec.arrivals is ArrivalKind.POISSON:
+                self.process = PoissonProcess(
+                    spec.rate,
+                    seed=f"{seed}:s{sid}",
+                    phase=self.rng.uniform(0.0, 1.0 / spec.rate),
+                )
+            else:
+                # Spread session starts across one full on/off cycle so a
+                # large population doesn't fire its first burst in unison.
+                cycle = spec.burst_len / spec.rate + spec.idle_seconds
+                self.process = BurstyProcess(
+                    spec.rate,
+                    spec.burst_len,
+                    spec.idle_seconds,
+                    seed=f"{seed}:s{sid}",
+                    phase=self.rng.uniform(0.0, cycle),
+                )
+
+
+@dataclass
+class ServingStats:
+    """Aggregate outcome of one :meth:`SessionManager.run`."""
+
+    dispatched: int = 0
+    executed: int = 0
+    writes: int = 0
+    shed: int = 0
+    reschedules: int = 0
+    retries: int = 0
+    rows: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    max_sampled_depth: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    def to_dict(self) -> dict:
+        return {
+            "dispatched": self.dispatched,
+            "executed": self.executed,
+            "writes": self.writes,
+            "shed": self.shed,
+            "reschedules": self.reschedules,
+            "retries": self.retries,
+            "rows": self.rows,
+            "elapsed_seconds": self.elapsed,
+            "max_sampled_depth": self.max_sampled_depth,
+        }
+
+
+class SessionManager:
+    """Drives a population of sessions through one front door."""
+
+    def __init__(
+        self,
+        frontdoor: FrontDoor,
+        specs: List[SessionSpec],
+        key_universe: int,
+        seed: int = 0,
+        write_op: Optional[Callable[[random.Random], int]] = None,
+    ) -> None:
+        """``key_universe`` bounds the keys sessions query (exclusive).
+
+        ``write_op(rng)`` performs one update against the backing store and
+        returns the number of records it touched; sessions with a
+        ``write_fraction`` draw it instead of a range query.
+        """
+        if key_universe < 2:
+            raise ValueError(f"key universe too small: {key_universe}")
+        self.frontdoor = frontdoor
+        self.clock = frontdoor.clock
+        self.seed = seed
+        self.key_universe = key_universe
+        self.write_op = write_op
+        self.sessions: List[_Session] = []
+        for spec in specs:
+            if spec.write_fraction > 0 and write_op is None:
+                raise ValueError(
+                    f"spec for tenant {spec.tenant!r} asks for writes but "
+                    "no write_op was given"
+                )
+            for _ in range(spec.sessions):
+                self.sessions.append(_Session(len(self.sessions), spec, seed))
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.sessions)
+
+    # ------------------------------------------------------------ event loop
+    def run(self) -> ServingStats:
+        """Dispatch every session's requests to completion; returns stats."""
+        stats = ServingStats(started_at=self.clock.now)
+        # Heap entries: (when, tie, session, request-or-None).  ``tie`` is a
+        # monotonically increasing sequence so equal instants pop FIFO —
+        # the loop is a pure function of (specs, seed).
+        heap: List[Tuple[float, int, _Session, Optional[QueryRequest]]] = []
+        tie = 0
+        for session in self.sessions:
+            when = self._first_arrival(session)
+            heapq.heappush(heap, (when, tie, session, None))
+            tie += 1
+
+        while heap:
+            when, _, session, parked = heapq.heappop(heap)
+            if when > self.clock.now:
+                self.clock.advance_to(when)
+            stats.dispatched += 1
+            if stats.dispatched % QUEUE_SAMPLE_STRIDE == 0:
+                depth = sum(1 for entry in heap if entry[0] <= self.clock.now)
+                self.frontdoor.observe_queue_depth(depth)
+                stats.max_sampled_depth = max(stats.max_sampled_depth, depth)
+
+            spec = session.spec
+            request = parked
+            if request is None:
+                request = self._build_request(session, arrival=when)
+            # ---------------------------------------------------- admission
+            try:
+                wait = self.frontdoor.try_admit(spec.tenant, session.waited)
+            except QuotaExceededError as rejection:
+                stats.shed += 1
+                session.waited = 0.0
+                if (
+                    spec.mode is SessionMode.CLOSED
+                    and session.retries < spec.max_retries
+                ):
+                    # The client backs off retry_after and resubmits the
+                    # same request (its arrival stays the original one, so
+                    # the retry loop shows up in the latency surface).
+                    session.retries += 1
+                    stats.retries += 1
+                    retry_at = self.clock.now + max(
+                        rejection.retry_after, 1e-6
+                    )
+                    heapq.heappush(heap, (retry_at, tie, session, request))
+                    tie += 1
+                    continue
+                # Open-loop clients drop shed requests (the flood keeps
+                # coming regardless); a closed-loop client out of retries
+                # gives up on this request and thinks before the next.
+                session.retries = 0
+                tie = self._schedule_next(heap, tie, session)
+                continue
+            if wait > 0.0:
+                session.waited += wait
+                stats.reschedules += 1
+                heapq.heappush(
+                    heap, (self.clock.now + wait, tie, session, request)
+                )
+                tie += 1
+                continue
+            # ---------------------------------------------------- execution
+            session.waited = 0.0
+            session.retries = 0
+            if request.end_key < request.begin_key:  # write sentinel
+                touched = self.write_op(session.rng)
+                stats.writes += 1
+                stats.rows += touched
+                self._record_write(session, request)
+            else:
+                result = self.frontdoor.execute(request)
+                stats.executed += 1
+                stats.rows += result.rows
+            tie = self._schedule_next(heap, tie, session)
+
+        stats.finished_at = self.clock.now
+        return stats
+
+    # -------------------------------------------------------------- internals
+    def _first_arrival(self, session: _Session) -> float:
+        spec = session.spec
+        session.issued += 1
+        if spec.mode is SessionMode.OPEN:
+            # The process yields ABSOLUTE instants; anchor it at the
+            # current simulated time so sessions created after a long
+            # warehouse build don't appear to have arrived in the past.
+            session.arrivals = session.process.arrival_times(start=self.clock.now)
+            return next(session.arrivals)
+        return self.clock.now + session.rng.uniform(0.0, spec.think_seconds)
+
+    def _schedule_next(self, heap, tie: int, session: _Session) -> int:
+        spec = session.spec
+        if session.issued >= spec.requests:
+            return tie
+        session.issued += 1
+        if spec.mode is SessionMode.OPEN:
+            when = next(session.arrivals)
+        else:
+            when = self.clock.now + session.rng.expovariate(
+                1.0 / max(spec.think_seconds, 1e-9)
+            )
+        heapq.heappush(heap, (when, tie, session, None))
+        return tie + 1
+
+    def _build_request(self, session: _Session, arrival: float) -> QueryRequest:
+        spec = session.spec
+        rng = session.rng
+        if spec.write_fraction > 0 and rng.random() < spec.write_fraction:
+            # A write request: encoded as an inverted key range so the
+            # dispatch loop can tell it apart without a second heap type.
+            return QueryRequest(
+                tenant=spec.tenant,
+                session=session.sid,
+                seq=session.issued,
+                begin_key=1,
+                end_key=0,
+                arrival=arrival,
+            )
+        span = max(2, spec.range_records * 2)
+        begin = rng.randrange(0, max(1, self.key_universe - span))
+        return QueryRequest(
+            tenant=spec.tenant,
+            session=session.sid,
+            seq=session.issued,
+            begin_key=begin,
+            end_key=begin + span - 1,
+            arrival=arrival,
+        )
+
+    def _record_write(self, session: _Session, request: QueryRequest) -> None:
+        """Writes ride the same per-tenant latency surface as queries."""
+        instruments = self.frontdoor._instruments(request.tenant)
+        instruments["requests"].add(1)
+        now = self.clock.now
+        instruments["latency"].observe(max(0.0, now - request.arrival))
+        instruments["queue_wait"].observe(max(0.0, now - request.arrival))

@@ -35,6 +35,16 @@ SCENARIOS = {
         flush_ops=6,
         kernel_partition_blocks=1,
     ),
+    # Serving-path stress: a quota-gated front door serving tenant range
+    # queries (one snapshot timestamp each, model-checked per request)
+    # interleaved with updates, flushes, migrations and a crash+recover.
+    "serving": lambda: replace(
+        SimConfig.canonical(),
+        servers=1,
+        serve_requests=10,
+        update_ops=50,
+        crashers=1,
+    ),
 }
 
 

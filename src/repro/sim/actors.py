@@ -140,6 +140,93 @@ def crasher(env, name: str, seed: int, idle_steps: int):
     yield
 
 
+class _EnvBackend:
+    """Router backend that re-reads ``env.masm`` on every call.
+
+    The serving layer's backends capture an engine; in the simulator the
+    engine is replaced wholesale by crash+recover, so the sim's backend
+    proxies through ``env`` instead — same rule every actor follows.  The
+    clock is stable across crashes (the SSD device survives recovery).
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.clock = env.masm.ssd.device.clock
+
+    def snapshot_ts(self) -> int:
+        return self.env.masm.oracle.next()
+
+    def scan(self, begin_key: int, end_key: int, query_ts: int):
+        return self.env.masm.range_scan(begin_key, end_key, query_ts=query_ts)
+
+
+def server(env, name: str, seed: int, requests: int):
+    """Serve quota-gated tenant range queries, model-checked per request.
+
+    Exercises the full serving path — admission (DELAY pays simulated time,
+    SHED drops the request), one snapshot timestamp per request, latency
+    surfaces — interleaved with updaters, flushers, migrators and crashers.
+    Execution is atomic within a step, so the model snapshot at the served
+    timestamp taken right after the scan is the ground truth for it.
+    """
+    from repro.errors import QuotaExceededError
+    from repro.server import FrontDoor, QueryRequest, QuotaPolicy, TenantQuota
+
+    rng = random.Random(f"{seed}:{name}")
+    fd = FrontDoor(
+        _EnvBackend(env),
+        quotas={
+            "gold": TenantQuota(rate=50.0, burst=8.0),
+            "bronze": TenantQuota(
+                rate=5.0, burst=2.0, policy=QuotaPolicy.SHED
+            ),
+        },
+        scope=f"sim.{name}",
+    )
+    universe = env.config.key_universe
+    for i in range(requests):
+        tenant = "gold" if rng.random() < 0.7 else "bronze"
+        lo = rng.randrange(universe)
+        hi = lo + rng.randrange(1, universe)
+        arrival = fd.clock.now
+        waited = 0.0
+        shed = False
+        while True:
+            try:
+                wait = fd.try_admit(tenant, waited)
+            except QuotaExceededError:
+                shed = True
+                break
+            if wait <= 0.0:
+                break
+            # The sim serves one request at a time, so DELAY may simply
+            # pay the wait on the shared clock before retrying.
+            fd.clock.advance(wait)
+            waited += wait
+            yield
+        if shed:
+            yield  # the client drops the request and moves on
+            continue
+        request = QueryRequest(
+            tenant=tenant, session=0, seq=i,
+            begin_key=lo, end_key=hi, arrival=arrival,
+        )
+        result = fd.execute(request)
+        expected = env.model.snapshot_records(result.query_ts, lo, hi)
+        if result.rows != len(expected):
+            raise AssertionError(
+                f"{name}: served request {i} for {tenant!r} at "
+                f"ts={result.query_ts} returned {result.rows} rows; "
+                f"model expects {len(expected)} in [{lo}, {hi}]"
+            )
+        if result.latency_seconds < 0:
+            raise AssertionError(
+                f"{name}: negative latency {result.latency_seconds} "
+                f"for request {i}"
+            )
+        yield
+
+
 def txn_writer(env, name: str, seed: int, txns: int, keys_per_txn: int = 3):
     """Snapshot-isolation transactions: stage, maybe conflict, commit.
 

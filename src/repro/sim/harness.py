@@ -49,6 +49,8 @@ class SimConfig:
     migrators: int = 1
     crashers: int = 0
     txn_writers: int = 0
+    #: Serving front doors (see :func:`repro.sim.actors.server`).
+    servers: int = 0
     update_ops: int = 40
     scans: int = 3
     scan_batch: int = 16
@@ -56,6 +58,7 @@ class SimConfig:
     migrate_ops: int = 3
     crasher_idle: int = 10
     txns: int = 3
+    serve_requests: int = 8
     #: Run-index blocks per kernel merge partition (None = library default).
     #: The ``kernels`` scenario sets this tiny so even the simulation's
     #: small runs split into several partitions, exercising the partition
@@ -269,6 +272,11 @@ def build_actor_factories(
         "txn",
         config.txn_writers,
         lambda n: actors.txn_writer(env, n, seed, config.txns),
+    )
+    add(
+        "server",
+        config.servers,
+        lambda n: actors.server(env, n, seed, config.serve_requests),
     )
     return factories
 

@@ -245,6 +245,73 @@ class FloodSchedule:
                 yield t
 
 
+class PoissonProcess:
+    """Open-loop Poisson arrivals: exponential inter-arrival gaps at ``rate``.
+
+    The serving layer's open-loop sessions draw arrival instants from one of
+    these — arrivals keep coming whether or not earlier requests finished,
+    which is what makes overload visible as queueing delay (a closed-loop
+    client would politely slow down and hide it).  Deterministic: the gap
+    stream is a pure function of ``(rate, seed)``, seeded the same
+    hash-independent way as the simulator's actors.
+    """
+
+    def __init__(self, rate: float, seed: int = 0, phase: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be > 0, got {rate}")
+        self.rate = rate
+        self.phase = phase
+        self._rng = random.Random(f"poisson:{seed}")
+
+    def arrival_times(self, start: float = 0.0) -> Iterator[float]:
+        """Unbounded absolute arrival instants from ``start + phase``."""
+        t = start + self.phase
+        while True:
+            t += self._rng.expovariate(self.rate)
+            yield t
+
+
+class BurstyProcess:
+    """Open-loop on/off arrivals: Poisson bursts separated by silent gaps.
+
+    Each burst draws ``burst_len`` arrivals at ``burst_rate``; between
+    bursts the source goes quiet for an exponential gap with mean
+    ``idle_seconds``.  The time-averaged rate is below ``burst_rate``, but
+    every burst momentarily hammers the front door — the arrival pattern
+    tenant quotas exist to contain.
+    """
+
+    def __init__(
+        self,
+        burst_rate: float,
+        burst_len: int,
+        idle_seconds: float,
+        seed: int = 0,
+        phase: float = 0.0,
+    ) -> None:
+        if burst_rate <= 0:
+            raise ValueError(f"burst rate must be > 0, got {burst_rate}")
+        if burst_len < 1:
+            raise ValueError(f"burst length must be >= 1, got {burst_len}")
+        if idle_seconds < 0:
+            raise ValueError(f"idle gap must be >= 0, got {idle_seconds}")
+        self.burst_rate = burst_rate
+        self.burst_len = burst_len
+        self.idle_seconds = idle_seconds
+        self.phase = phase
+        self._rng = random.Random(f"bursty:{seed}")
+
+    def arrival_times(self, start: float = 0.0) -> Iterator[float]:
+        """Unbounded absolute arrival instants from ``start + phase``."""
+        t = start + self.phase
+        while True:
+            for _ in range(self.burst_len):
+                t += self._rng.expovariate(self.burst_rate)
+                yield t
+            if self.idle_seconds:
+                t += self._rng.expovariate(1.0 / self.idle_seconds)
+
+
 def flood_stream(
     generator: SyntheticUpdateGenerator,
     schedule: FloodSchedule,

@@ -23,6 +23,8 @@ FAST = {
     "theorem-writes": {"scale": 0.2},
     "ablation-materialization": {"scale": 0.2, "queries": 2},
     "ablation-skew": {"scale": 0.2, "updates": 3000},
+    "serving-scale": {"scale": 0.02},
+    "noisy-neighbor": {"scale": 0.15, "requests": 2},
 }
 
 
