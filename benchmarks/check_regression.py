@@ -4,7 +4,10 @@ Runs a fresh ``--smoke``-sized measurement of
 :mod:`benchmarks.bench_scan_merge_hotpath` and compares it against the
 committed full-run baseline in ``benchmarks/results/BENCH_scan_merge.json``;
 then does the same for the serving surface
-(:mod:`benchmarks.bench_serving` vs ``BENCH_serving.json``).
+(:mod:`benchmarks.bench_serving` vs ``BENCH_serving.json``) and the
+availability-under-chaos surface (:mod:`benchmarks.bench_availability` vs
+``BENCH_availability.json``, whose gates are absolute: zero wrong answers,
+success-rate floor, bounded failover-window p99, chaos actually engaged).
 
 Absolute numbers are machine-dependent (the committed baseline and a CI
 runner differ in CPU and in workload size), so both gates compare
@@ -41,12 +44,15 @@ from bench_scan_merge_hotpath import (  # noqa: E402
     write_results,
 )
 
+import bench_availability  # noqa: E402
 import bench_serving  # noqa: E402
 
 BASELINE_FILE = RESULTS_DIR / "BENCH_scan_merge.json"
 FRESH_RESULT_FILE = "BENCH_scan_merge.fresh.json"
 SERVING_BASELINE_FILE = RESULTS_DIR / "BENCH_serving.json"
 SERVING_FRESH_RESULT_FILE = "BENCH_serving.fresh.json"
+AVAILABILITY_BASELINE_FILE = RESULTS_DIR / "BENCH_availability.json"
+AVAILABILITY_FRESH_RESULT_FILE = "BENCH_availability.fresh.json"
 
 #: The row whose cells normalize every other row (re-measured each run).
 REFERENCE_ROW = "legacy"
@@ -82,6 +88,16 @@ SERVING_REQUIRED_CELLS = (
     ("victim-shared", "p99_vs_solo"),
     ("flooder", "shed"),
     ("scale-all", "shed_rate"),
+)
+#: The availability gates themselves are absolute (success-rate floor,
+#: wrong-answer zero, failover p99 bound — see bench_availability); the
+#: regression gate's job is to keep the surface from silently vanishing.
+AVAILABILITY_REQUIRED_CELLS = (
+    ("all", "success_rate"),
+    ("all", "wrong"),
+    ("all", "failovers"),
+    ("all", "hedge_wins"),
+    ("failover-window", "p99_vs_baseline"),
 )
 
 
@@ -268,6 +284,12 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional rise in a normalized serving latency "
         "multiple (default 0.35)",
     )
+    parser.add_argument(
+        "--availability-baseline",
+        type=pathlib.Path,
+        default=AVAILABILITY_BASELINE_FILE,
+        help="committed availability baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
 
     # Load the committed baselines BEFORE running anything: the fresh runs
@@ -284,6 +306,17 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, KeyError, ValueError) as exc:
         print(
             f"error: cannot load serving baseline {args.serving_baseline}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        availability_baseline = load_rows(
+            json.loads(args.availability_baseline.read_text())
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        print(
+            f"error: cannot load availability baseline "
+            f"{args.availability_baseline}: {exc}",
             file=sys.stderr,
         )
         return 2
@@ -331,12 +364,43 @@ def main(argv: list[str] | None = None) -> int:
             shown = "missing" if fresh_ratio is None else f"{fresh_ratio:.2f}x"
             print(f"  {label}/{column}: {shown} / {base_serving[label][column]:.2f}x")
 
+    # -------------------------------------------------- availability gate
+    availability_kwargs = (
+        bench_availability.SMOKE_KWARGS if args.smoke else {}
+    )
+    availability_result = bench_availability.run_availability_bench(
+        **availability_kwargs
+    )
+    print()
+    print(availability_result.format())
+    availability_path = bench_availability.write_results(
+        availability_result, AVAILABILITY_FRESH_RESULT_FILE
+    )
+    print(f"wrote fresh availability results to {availability_path}")
+    availability_fresh = load_rows(availability_result.to_dict())
+    for label, column in AVAILABILITY_REQUIRED_CELLS:
+        for origin, rows in (
+            ("baseline", availability_baseline),
+            ("fresh", availability_fresh),
+        ):
+            if rows.get(label, {}).get(column) is None:
+                failures.append(
+                    f"required cell {label}/{column} missing from "
+                    f"{origin} availability results"
+                )
+    failures += bench_availability.check_gates(
+        availability_result, full=not args.smoke
+    )
+
     if failures:
         print("\nREGRESSION:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nOK: no hot-path or serving regression beyond tolerance")
+    print(
+        "\nOK: no hot-path, serving or availability regression beyond "
+        "tolerance"
+    )
     return 0
 
 

@@ -45,6 +45,10 @@ from repro.core import (
     MaterializedSortedRun,
     MigrationStats,
     OverloadPolicy,
+    ReplicaSet,
+    ReplicaState,
+    ReplicatedWarehouse,
+    ShardedWarehouse,
     UpdateRecord,
     UpdateType,
     migrate_all,
@@ -56,6 +60,11 @@ from repro.engine.table import Table
 from repro.errors import (
     BackpressureError,
     ChecksumError,
+    DeadlineExceededError,
+    NoHealthyReplicaError,
+    QuotaExceededError,
+    ReplicaUnavailableError,
+    ReplicationError,
     ReproError,
     SimulatedCrash,
     StorageError,
@@ -90,6 +99,7 @@ __all__ = [
     "ColumnTable",
     "ChecksumError",
     "CpuMeter",
+    "DeadlineExceededError",
     "FaultPlan",
     "FaultyDevice",
     "GovernorConfig",
@@ -104,9 +114,17 @@ __all__ = [
     "MaSMStats",
     "MaterializedSortedRun",
     "MigrationStats",
+    "NoHealthyReplicaError",
+    "QuotaExceededError",
     "RedoLog",
     "OverlapWindow",
+    "ReplicaSet",
+    "ReplicaState",
+    "ReplicaUnavailableError",
+    "ReplicatedWarehouse",
+    "ReplicationError",
     "ReproError",
+    "ShardedWarehouse",
     "SimulatedCrash",
     "Schema",
     "SimulatedDisk",

@@ -14,6 +14,7 @@ import functools
 from repro import obs
 from repro.bench.figures import (
     ablations,
+    availability_chaos,
     fig01_migration_tradeoff,
     fig03_tpch_inplace_rowstore,
     fig04_tpch_inplace_columnstore,
@@ -57,6 +58,7 @@ ALL_DRIVERS = {
         "figure-12": fig12_sustained_updates.run,
         "figure-13": fig13_cpu_cost.run,
         "figure-14": fig14_tpch_replay.run,
+        "availability-under-chaos": availability_chaos.run,
         "hdd-cache": hdd_cache.run,
         "latency-stability": latency_stability.run,
         "lsm-write-amplification": lsm_write_amplification.run,

@@ -20,8 +20,19 @@ from repro.core.masm import (
     MaSMStats,
     derive_parameters,
 )
+from repro.core.replication import (
+    Replica,
+    ReplicaSet,
+    ReplicaState,
+    ReplicatedWarehouse,
+)
 from repro.core.secondary import SecondaryIndexManager
-from repro.core.sharding import ShardedWarehouse, hash_partitioner, range_partitioner
+from repro.core.sharding import (
+    ShardedWarehouse,
+    build_shard_node,
+    hash_partitioner,
+    range_partitioner,
+)
 from repro.core.sortorders import MultiOrderTable, projection_schema
 from repro.core.views import LazyMaterializedView, ViewCatalog
 from repro.core.blockcache import DecodedBlockCache
@@ -64,9 +75,14 @@ __all__ = [
     "LazyMaterializedView",
     "MaSM",
     "MultiOrderTable",
+    "Replica",
+    "ReplicaSet",
+    "ReplicaState",
+    "ReplicatedWarehouse",
     "SecondaryIndexManager",
     "ShardedWarehouse",
     "ViewCatalog",
+    "build_shard_node",
     "hash_partitioner",
     "projection_schema",
     "range_partitioner",

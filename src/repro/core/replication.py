@@ -1,0 +1,637 @@
+"""Shard replication: N MaSM engines per key range, failover, catch-up.
+
+A :class:`ReplicaSet` runs the same key range on N independent nodes (each
+built by the exact :func:`~repro.core.sharding.build_shard_node` recipe an
+unreplicated shard uses).  Replication is deterministic
+*primary-applies-then-ships*: the primary ingests an update — which logs it
+to the primary's redo log before buffering — and then ships the **same**
+:class:`UpdateRecord` (same timestamp, same payload) to every ONLINE
+follower.  Because MaSM visibility is a pure function of the update stream
+and the query timestamp, two replicas that ingested the same stream return
+byte-identical rows for any scan at the same snapshot ts, regardless of how
+differently their buffers flushed or their runs merged.
+
+Failure model (driven by :class:`~repro.storage.faults.NodeFaultPlan` or by
+explicit :meth:`crash_replica` calls):
+
+* a **crashed** replica loses its in-memory state; its heap file, SSD run
+  files and redo log survive.  A crashed primary is failed over: the next
+  ONLINE follower is promoted (it holds the full shipped history, so no
+  data is lost — replication is synchronous).
+* a follower that fails a ship is marked CRASHED immediately: a replica
+  that missed even one update may no longer serve reads.
+* **rejoin** is a two-step path: :meth:`recover_replica` rebuilds the
+  engine from the surviving durable state (the standard
+  :func:`~repro.txn.recovery.recover_masm` crash-recovery path), then
+  :meth:`catch_up` replays, from the *current primary's* redo log, exactly
+  the UPDATE records newer than the rejoiner's recovered watermark.  Redo
+  logs here are never truncated, so any replica that has been ONLINE since
+  the set was built holds the full update history.
+
+Watermark correctness: timestamps are drawn from one shared oracle, and a
+replica receives every update while ONLINE — so everything it missed has a
+timestamp strictly greater than everything it durably saw
+(``RecoveryReport.max_timestamp_seen``).  Catch-up replays ``ts >
+watermark`` and can neither skip nor double-apply an update.
+
+:class:`ReplicatedWarehouse` composes one :class:`ReplicaSet` per shard
+behind the same routing surface :class:`ShardedWarehouse` offers, plus the
+per-replica scan entry points the hedged fan-out executor in
+:mod:`repro.server.router` schedules over.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from itertools import chain
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+import dataclasses as _dc
+
+from repro.core import kernels
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.sharding import ShardNode, build_shard_node, hash_partitioner
+from repro.core.update import UpdateRecord, UpdateType
+from repro.engine.record import Schema
+from repro.engine.table import Table
+from repro.errors import (
+    NoHealthyReplicaError,
+    ReplicaUnavailableError,
+    ReplicationError,
+    ReproError,
+)
+from repro.obs import get_registry, trace
+from repro.storage.clock import SimClock
+from repro.storage.faults import NodeFaultPlan
+from repro.txn.log import LogRecordType, RedoLog
+from repro.txn.recovery import recover_masm
+from repro.txn.timestamps import TimestampOracle
+from repro.util.units import MB
+
+#: Rows between mid-scan fault-plan consultations: a node that crashes
+#: while a scan is draining fails the scan within one stride, not at the
+#: next scan.
+FAULT_CHECK_STRIDE = 64
+
+
+class ReplicaState(enum.Enum):
+    ONLINE = "online"
+    CRASHED = "crashed"
+    CATCHING_UP = "catching_up"
+
+
+@dataclass
+class Replica:
+    """One member of a replica set: a full shard node plus replica state."""
+
+    shard_id: int
+    replica_id: int
+    node: ShardNode
+    config: MaSMConfig
+    state: ReplicaState = ReplicaState.ONLINE
+    faults: Optional[NodeFaultPlan] = None
+
+    @property
+    def masm(self) -> MaSM:
+        return self.node.masm
+
+    @property
+    def table(self) -> Table:
+        return self.node.table
+
+    @property
+    def wal(self) -> Optional[RedoLog]:
+        return self.node.masm.redo_log
+
+    @property
+    def name(self) -> str:
+        return f"shard{self.shard_id}.r{self.replica_id}"
+
+
+class ReplicaSet:
+    """N MaSM engines over one key range with deterministic replication."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        schema: Schema,
+        oracle: TimestampOracle,
+        clock: SimClock,
+        replicas: list[Replica],
+    ) -> None:
+        if not replicas:
+            raise ReplicationError("a replica set needs at least one replica")
+        self.shard_id = shard_id
+        self.schema = schema
+        self.oracle = oracle
+        self.clock = clock
+        self.replicas = replicas
+        self.primary_id = replicas[0].replica_id
+        registry = get_registry()
+        self._obs_ships = registry.counter("replication.ships")
+        self._obs_failovers = registry.counter("replication.failovers")
+        self._obs_follower_drops = registry.counter("replication.follower_drops")
+        self._obs_catchup = registry.counter("replication.catchup_updates")
+        self._obs_recoveries = registry.counter("replication.recoveries")
+        self._online_gauge = registry.gauge(
+            f"replication.shard.{shard_id}.online"
+        )
+        self._online_gauge.set(len(replicas))
+
+    # -------------------------------------------------------------- building
+    @classmethod
+    def build(
+        cls,
+        shard_id: int,
+        schema: Schema,
+        oracle: TimestampOracle,
+        clock: SimClock,
+        replication: int = 3,
+        *,
+        records_per_node: int = 20_000,
+        disk_capacity: int = 256 * MB,
+        ssd_capacity: int = 8 * MB,
+        masm_config: Optional[MaSMConfig] = None,
+        wrap_device: Optional[Callable[[str, object], object]] = None,
+        node_faults: Optional[Dict[int, NodeFaultPlan]] = None,
+    ) -> "ReplicaSet":
+        """Build ``replication`` identical nodes for one shard.
+
+        Every replica gets a redo log (replication *requires* WALs: the
+        catch-up path replays the primary's).  Followers are built with
+        admission governance stripped — the primary's admission decision
+        is the set's decision; a follower that shed a shipped update would
+        silently diverge.
+        """
+        if replication < 1:
+            raise ReplicationError(f"replication must be >= 1, got {replication}")
+        replicas: list[Replica] = []
+        for replica_id in range(replication):
+            config = (
+                _dc.replace(masm_config)
+                if masm_config is not None
+                else MaSMConfig(alpha=1.2, auto_migrate=False)
+            )
+            if replica_id > 0:
+                config = _dc.replace(config, overload_policy=None, governor=None)
+            node = build_shard_node(
+                shard_id,
+                schema,
+                records_per_node=records_per_node,
+                disk_capacity=disk_capacity,
+                ssd_capacity=ssd_capacity,
+                masm_config=config,
+                oracle=oracle,
+                clock=clock,
+                wrap_device=wrap_device,
+                attach_log=True,
+                device_label=f"{shard_id}.{replica_id}",
+                table_name=f"shard-{shard_id}",
+                masm_name=f"masm-shard-{shard_id}r{replica_id}",
+                wal_name=f"wal-{shard_id}r{replica_id}",
+            )
+            plan = (node_faults or {}).get(replica_id)
+            replicas.append(
+                Replica(shard_id, replica_id, node, config, faults=plan)
+            )
+        return cls(shard_id, schema, oracle, clock, replicas)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def primary(self) -> Replica:
+        return self.replicas[self.primary_id]
+
+    def replica(self, replica_id: int) -> Replica:
+        return self.replicas[replica_id]
+
+    def online_ids(self) -> list[int]:
+        return [r.replica_id for r in self.replicas if r.state is ReplicaState.ONLINE]
+
+    def replica_ids(self) -> list[int]:
+        return [r.replica_id for r in self.replicas]
+
+    def _set_state(self, replica: Replica, state: ReplicaState) -> None:
+        replica.state = state
+        self._online_gauge.set(len(self.online_ids()))
+
+    # --------------------------------------------------------------- updates
+    def _guard(self, replica: Replica) -> None:
+        """State + node-fault check before any operation on ``replica``.
+
+        A fault-plan crash converges into replica state here, so the set's
+        view of who is alive tracks the injected schedule.
+        """
+        if replica.state is not ReplicaState.ONLINE:
+            raise ReplicaUnavailableError(
+                f"replica {replica.name} is {replica.state.value}"
+            )
+        if replica.faults is not None:
+            try:
+                replica.faults.before_op(self.clock)
+            except ReplicaUnavailableError:
+                if replica.faults.crashed(self.clock.now):
+                    self._mark_crashed(replica)
+                raise
+
+    def _mark_crashed(self, replica: Replica) -> None:
+        if replica.state is ReplicaState.CRASHED:
+            return
+        self._set_state(replica, ReplicaState.CRASHED)
+        if replica.replica_id == self.primary_id:
+            self._promote()
+
+    def _promote(self) -> None:
+        """Fail the primary over to the next ONLINE follower.
+
+        Safe because replication is synchronous: every ONLINE follower has
+        ingested the complete shipped history, so any of them can serve as
+        primary without data loss.
+        """
+        for replica in self.replicas:
+            if replica.state is ReplicaState.ONLINE:
+                self.primary_id = replica.replica_id
+                self._obs_failovers.add(1)
+                with trace(
+                    "replication.failover",
+                    shard=self.shard_id,
+                    new_primary=replica.replica_id,
+                ):
+                    pass
+                return
+        # No ONLINE replica: leave primary_id pointing at the corpse; the
+        # next apply/scan raises NoHealthyReplicaError.
+
+    def apply(self, update: UpdateRecord) -> None:
+        """Primary applies, then ships the same record to ONLINE followers.
+
+        A primary that fails mid-apply is marked CRASHED and the apply is
+        retried on the promoted follower — the client sees one successful
+        ingest, not a failure plus a retry.  Followers that fail their
+        ship are dropped (CRASHED) and must rejoin via recover + catch-up.
+        """
+        while True:
+            primary = self.primary
+            if primary.state is not ReplicaState.ONLINE:
+                raise NoHealthyReplicaError(
+                    f"shard {self.shard_id}: no online replica to apply "
+                    f"update ts={update.timestamp}"
+                )
+            try:
+                self._guard(primary)
+                primary.masm.apply(update)
+                break
+            except ReplicaUnavailableError:
+                self._mark_crashed(primary)
+                if not self.online_ids():
+                    raise NoHealthyReplicaError(
+                        f"shard {self.shard_id}: every replica is down"
+                    ) from None
+                continue
+        for follower in self.replicas:
+            if (
+                follower.replica_id == self.primary_id
+                or follower.state is not ReplicaState.ONLINE
+            ):
+                continue
+            try:
+                self._guard(follower)
+                follower.masm.apply(update)
+                self._obs_ships.add(1)
+            except ReproError:
+                # Any failed ship (node fault, storage error, shed) leaves
+                # the follower behind by one update: drop it from the set
+                # until it rejoins through recover + catch-up.
+                self._obs_follower_drops.add(1)
+                self._mark_crashed(follower)
+
+    def insert(self, record: tuple) -> int:
+        ts = self.oracle.next()
+        self.apply(
+            UpdateRecord(ts, self.schema.key(record), UpdateType.INSERT, record)
+        )
+        return ts
+
+    def delete(self, key: int) -> int:
+        ts = self.oracle.next()
+        self.apply(UpdateRecord(ts, key, UpdateType.DELETE, None))
+        return ts
+
+    def modify(self, key: int, changes: dict) -> int:
+        ts = self.oracle.next()
+        self.apply(UpdateRecord(ts, key, UpdateType.MODIFY, dict(changes)))
+        return ts
+
+    # ----------------------------------------------------------------- scans
+    def scan(
+        self,
+        begin_key: int,
+        end_key: int,
+        query_ts: int,
+        replica_id: Optional[int] = None,
+    ) -> Iterator[tuple]:
+        """Scan one replica (default: the primary) at a pinned snapshot ts.
+
+        The stream re-consults the replica's fault plan every
+        :data:`FAULT_CHECK_STRIDE` rows, so a node that crashes or wedges
+        *mid-drain* fails the scan with :class:`ReplicaUnavailableError`
+        promptly — which is what lets the fan-out executor fail the
+        partition over to another replica under the same ``query_ts`` and
+        still return byte-identical rows.
+        """
+        replica = self.replicas[
+            self.primary_id if replica_id is None else replica_id
+        ]
+        self._guard(replica)
+        inner = replica.masm.range_scan(begin_key, end_key, query_ts=query_ts)
+
+        def stream() -> Iterator[tuple]:
+            emitted = 0
+            for row in inner:
+                yield row
+                emitted += 1
+                if emitted % FAULT_CHECK_STRIDE == 0:
+                    self._guard(replica)
+
+        return stream()
+
+    # ------------------------------------------------------------- lifecycle
+    def crash_replica(self, replica_id: int) -> None:
+        """Kill a replica: in-memory state is lost, durable files survive."""
+        self._mark_crashed(self.replicas[replica_id])
+
+    def recover_replica(self, replica_id: int) -> "Replica":
+        """Rebuild a crashed replica's engine from its surviving storage.
+
+        The standard crash-recovery path: a bare table over the surviving
+        heap, the surviving redo log rescanned from offset zero, runs
+        reloaded from the SSD.  The replica comes back CATCHING_UP — it
+        holds everything it durably saw, but nothing shipped while it was
+        down — and must :meth:`catch_up` before serving again.
+        """
+        replica = self.replicas[replica_id]
+        if replica.state is not ReplicaState.CRASHED:
+            raise ReplicationError(
+                f"replica {replica.name} is {replica.state.value}, not crashed"
+            )
+        old = replica.masm
+        if old.redo_log is None:
+            raise ReplicationError(
+                f"replica {replica.name} has no redo log to recover from"
+            )
+        bare = Table(old.table.name, old.table.schema, old.table.heap)
+        bare.heap.num_pages = old.table.heap.capacity_pages
+        fresh_log = RedoLog(old.redo_log.file)
+        fresh_log.file._append_pos = 0  # the append cursor died with the node
+        recovered, report = recover_masm(
+            bare,
+            old.ssd,
+            fresh_log,
+            config=replica.config,
+            oracle=self.oracle,
+            name=old.name,
+        )
+        # Everything the replica durably ingested has ts <= this watermark;
+        # everything it missed while down is strictly newer (one shared,
+        # monotonic oracle).  catch_up() replays exactly ts > watermark.
+        recovered.last_update_ts = report.max_timestamp_seen
+        node = replica.node
+        replica.node = ShardNode(
+            node.node_id, node.disk, node.ssd, bare, recovered, node.cpu
+        )
+        if replica.faults is not None:
+            replica.faults.recover()
+        self._set_state(replica, ReplicaState.CATCHING_UP)
+        self._obs_recoveries.add(1)
+        return replica
+
+    def catch_up(self, replica_id: int) -> int:
+        """Replay missed updates from the current primary's redo log.
+
+        Returns the number of updates applied.  The rejoiner transitions
+        ONLINE afterwards and is eligible for reads, ships and promotion.
+        """
+        replica = self.replicas[replica_id]
+        if replica.state is not ReplicaState.CATCHING_UP:
+            raise ReplicationError(
+                f"replica {replica.name} is {replica.state.value}; "
+                "recover_replica() first"
+            )
+        primary = self.primary
+        if primary.state is not ReplicaState.ONLINE:
+            raise NoHealthyReplicaError(
+                f"shard {self.shard_id}: no online primary to catch up from"
+            )
+        applied = 0
+        if replica is not primary:
+            watermark = replica.masm.last_update_ts
+            source = primary.wal
+            if source is None:
+                raise ReplicationError(
+                    f"primary {primary.name} has no redo log to catch up from"
+                )
+            with trace(
+                "replication.catch_up",
+                shard=self.shard_id,
+                replica=replica_id,
+                watermark=watermark,
+            ):
+                for record in source.records():
+                    if (
+                        record.type is LogRecordType.UPDATE
+                        and record.table == primary.table.name
+                        and record.update.timestamp > watermark
+                    ):
+                        replica.masm.apply(record.update)
+                        applied += 1
+        self._obs_catchup.add(applied)
+        self._set_state(replica, ReplicaState.ONLINE)
+        return applied
+
+    def rejoin(self, replica_id: int) -> int:
+        """Convenience: recover + catch up in one call."""
+        self.recover_replica(replica_id)
+        return self.catch_up(replica_id)
+
+
+class ReplicatedWarehouse:
+    """N-way replicated shards behind the :class:`ShardedWarehouse` surface.
+
+    Same public routing API (``bulk_load`` / ``insert`` / ``delete`` /
+    ``modify`` / ``partitioned_range_scan``), plus the per-replica scan
+    entry points (:meth:`scan_shard_partition`, :meth:`shard_route_ids`)
+    the hedged fan-out executor schedules over, and the chaos levers
+    (:meth:`crash_replica` / :meth:`rejoin_replica`) the availability
+    driver pulls.  A shared clock is mandatory: failover and hedging are
+    decisions *about time*, so every replica must live on one timeline.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        num_shards: int,
+        clock: SimClock,
+        replication: int = 3,
+        partitioner: Optional[Callable[[int], int]] = None,
+        records_per_node: int = 20_000,
+        disk_capacity: int = 256 * MB,
+        ssd_capacity: int = 8 * MB,
+        masm_config: Optional[MaSMConfig] = None,
+        wrap_device: Optional[Callable[[str, object], object]] = None,
+        node_faults: Optional[Dict[Tuple[int, int], NodeFaultPlan]] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if clock is None:
+            raise ValueError("replication needs one shared SimClock timeline")
+        self.schema = schema
+        self.route = partitioner or hash_partitioner(num_shards)
+        self.oracle = TimestampOracle()
+        self.clock = clock
+        self.replication = replication
+        faults = node_faults or {}
+        self.shards: list[ReplicaSet] = [
+            ReplicaSet.build(
+                shard_id,
+                schema,
+                self.oracle,
+                clock,
+                replication,
+                records_per_node=records_per_node,
+                disk_capacity=disk_capacity,
+                ssd_capacity=ssd_capacity,
+                masm_config=masm_config,
+                wrap_device=wrap_device,
+                node_faults={
+                    rid: plan
+                    for (sid, rid), plan in faults.items()
+                    if sid == shard_id
+                },
+            )
+            for shard_id in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------- loading
+    def bulk_load(self, records: Iterable[tuple]) -> None:
+        """Partition and load records into *every* replica of each shard."""
+        shares: list[list[tuple]] = [[] for _ in self.shards]
+        for record in records:
+            shares[self.route(self.schema.key(record))].append(record)
+        for shard, share in zip(self.shards, shares):
+            share.sort(key=self.schema.key)
+            for replica in shard.replicas:
+                replica.table.bulk_load(share)
+
+    @property
+    def row_count(self) -> int:
+        return sum(shard.primary.table.row_count for shard in self.shards)
+
+    # -------------------------------------------------------------- updates
+    def insert(self, record: tuple) -> int:
+        return self.shards[self.route(self.schema.key(record))].insert(record)
+
+    def delete(self, key: int) -> int:
+        return self.shards[self.route(key)].delete(key)
+
+    def modify(self, key: int, changes: dict) -> int:
+        return self.shards[self.route(key)].modify(key, changes)
+
+    # ---------------------------------------------------------------- scans
+    def partition_bounds(
+        self,
+        begin_key: int,
+        end_key: int,
+        blocks_per_partition: int = kernels.DEFAULT_BLOCKS_PER_PARTITION,
+    ) -> list[tuple[int, int]]:
+        """Key-range partitions from the primaries' run indexes.
+
+        Bounds only decide scan granularity, never visibility — a failover
+        that changes which replica's indexes seed the split cannot change
+        which rows a snapshot returns.
+        """
+        indexes = [
+            run.index
+            for shard in self.shards
+            for run in shard.primary.masm.runs
+        ]
+        bounds = kernels.partition_points(
+            indexes, begin_key, end_key, blocks_per_partition
+        )
+        return [
+            (lo, end_key if hi is None else hi)
+            for lo, hi in kernels.partition_ranges(bounds, begin_key, end_key)
+        ]
+
+    def scan_shard_partition(
+        self,
+        shard_id: int,
+        begin_key: int,
+        end_key: int,
+        query_ts: int,
+        replica_id: Optional[int] = None,
+    ) -> Iterator[tuple]:
+        """One shard's contribution to one partition, on one replica."""
+        return self.shards[shard_id].scan(
+            begin_key, end_key, query_ts, replica_id=replica_id
+        )
+
+    def shard_route_ids(self, shard_id: int) -> tuple[int, list[int]]:
+        """(primary id, all replica ids) — the executor's routing input."""
+        shard = self.shards[shard_id]
+        return shard.primary_id, shard.replica_ids()
+
+    def partitioned_range_scan(
+        self,
+        begin_key: int,
+        end_key: int,
+        blocks_per_partition: int = kernels.DEFAULT_BLOCKS_PER_PARTITION,
+        query_ts: Optional[int] = None,
+    ) -> Iterator[tuple]:
+        """Primary-only partitioned fan-out (no hedging, no failover).
+
+        The plain path for clients that do not run through the serving
+        router; each partition merges the primaries key-ordered.
+        """
+        if query_ts is None:
+            query_ts = self.oracle.next()
+
+        def scan_partition(lo: int, hi: int) -> Iterator[tuple]:
+            streams = [
+                shard.scan(lo, hi, query_ts) for shard in self.shards
+            ]
+            return heapq.merge(*streams, key=self.schema.key)
+
+        return chain.from_iterable(
+            scan_partition(lo, hi)
+            for lo, hi in self.partition_bounds(
+                begin_key, end_key, blocks_per_partition
+            )
+        )
+
+    # ----------------------------------------------------------------- chaos
+    def crash_replica(self, shard_id: int, replica_id: int) -> None:
+        self.shards[shard_id].crash_replica(replica_id)
+
+    def rejoin_replica(self, shard_id: int, replica_id: int) -> int:
+        return self.shards[shard_id].rejoin(replica_id)
+
+    # --------------------------------------------------------------- balance
+    def flush_all(self) -> None:
+        """Flush every replica's buffer (bench warmup helper)."""
+        for shard in self.shards:
+            for replica in shard.replicas:
+                if replica.state is ReplicaState.ONLINE:
+                    replica.masm.flush_buffer()
+
+    def replica_report(self) -> Dict[str, str]:
+        """JSON-ready replica states, keyed ``shard.replica``."""
+        return {
+            replica.name: replica.state.value
+            for shard in self.shards
+            for replica in shard.replicas
+        }

@@ -46,6 +46,71 @@ class ShardNode:
     cpu: CpuMeter
 
 
+def build_shard_node(
+    node_id: int,
+    schema: Schema,
+    *,
+    records_per_node: int,
+    disk_capacity: int,
+    ssd_capacity: int,
+    masm_config: Optional[MaSMConfig],
+    oracle: TimestampOracle,
+    clock: Optional[SimClock] = None,
+    wrap_device: Optional[Callable[[str, object], object]] = None,
+    attach_log: bool = False,
+    device_label: Optional[str] = None,
+    table_name: Optional[str] = None,
+    masm_name: Optional[str] = None,
+    wal_name: Optional[str] = None,
+) -> ShardNode:
+    """Build one shared-nothing node: disk + SSD + table + MaSM (+ WAL).
+
+    The single construction recipe both :class:`ShardedWarehouse` (one
+    node per shard) and :class:`~repro.core.replication.ReplicaSet` (N
+    identical nodes per shard) use, so a replica is byte-for-byte the same
+    kind of node as an unreplicated shard.  ``masm_config`` is copied per
+    node — each node builds its own governor, nothing is shared.
+    """
+    label = device_label if device_label is not None else str(node_id)
+    disk = SimulatedDisk(capacity=disk_capacity, clock=clock)
+    ssd = SimulatedSSD(capacity=ssd_capacity, clock=clock)
+    if wrap_device is not None:
+        disk = wrap_device(f"disk-{label}", disk)
+        ssd = wrap_device(f"ssd-{label}", ssd)
+    cpu = CpuMeter()
+    ssd_volume = StorageVolume(ssd)
+    table = Table.create(
+        StorageVolume(disk),
+        table_name if table_name is not None else f"shard-{node_id}",
+        schema,
+        records_per_node,
+        cpu=cpu,
+    )
+    config = (
+        dataclasses.replace(masm_config)
+        if masm_config is not None
+        else MaSMConfig(alpha=1.2, auto_migrate=False)
+    )
+    masm = MaSM(
+        table,
+        ssd_volume,
+        config=config,
+        oracle=oracle,
+        cpu=cpu,
+        name=masm_name if masm_name is not None else f"masm-shard-{node_id}",
+    )
+    if attach_log:
+        masm.attach_log(
+            RedoLog(
+                ssd_volume.create(
+                    wal_name if wal_name is not None else f"wal-{node_id}",
+                    ssd.capacity // 4,
+                )
+            )
+        )
+    return ShardNode(node_id, disk, ssd, table, masm, cpu)
+
+
 def hash_partitioner(num_nodes: int) -> Callable[[int], int]:
     """Key -> node by hash (golden-ratio multiplicative, stable)."""
 
@@ -111,43 +176,21 @@ class ShardedWarehouse:
         #: The shared timeline, or None when every node keeps its own (the
         #: legacy layout measure_scan's parallel critical path relies on).
         self.clock: Optional[SimClock] = clock
-        shared_clock = clock
-        self.nodes: list[ShardNode] = []
-        for node_id in range(num_nodes):
-            disk = SimulatedDisk(capacity=disk_capacity, clock=shared_clock)
-            ssd = SimulatedSSD(capacity=ssd_capacity, clock=shared_clock)
-            if wrap_device is not None:
-                disk = wrap_device(f"disk-{node_id}", disk)
-                ssd = wrap_device(f"ssd-{node_id}", ssd)
-            cpu = CpuMeter()
-            ssd_volume = StorageVolume(ssd)
-            table = Table.create(
-                StorageVolume(disk),
-                f"shard-{node_id}",
+        self.nodes: list[ShardNode] = [
+            build_shard_node(
+                node_id,
                 schema,
-                records_per_node,
-                cpu=cpu,
-            )
-            # Copy the config per node: each node's MaSM builds its own
-            # LoadGovernor, so no governance state is shared across shards.
-            config = (
-                dataclasses.replace(masm_config)
-                if masm_config is not None
-                else MaSMConfig(alpha=1.2, auto_migrate=False)
-            )
-            masm = MaSM(
-                table,
-                ssd_volume,
-                config=config,
+                records_per_node=records_per_node,
+                disk_capacity=disk_capacity,
+                ssd_capacity=ssd_capacity,
+                masm_config=masm_config,
                 oracle=self.oracle,
-                cpu=cpu,
-                name=f"masm-shard-{node_id}",
+                clock=clock,
+                wrap_device=wrap_device,
+                attach_log=attach_logs,
             )
-            if attach_logs:
-                masm.attach_log(
-                    RedoLog(ssd_volume.create(f"wal-{node_id}", ssd.capacity // 4))
-                )
-            self.nodes.append(ShardNode(node_id, disk, ssd, table, masm, cpu))
+            for node_id in range(num_nodes)
+        ]
 
     @property
     def num_nodes(self) -> int:
@@ -224,25 +267,47 @@ class ShardedWarehouse:
         """
         if query_ts is None:
             query_ts = self.oracle.next()
-        indexes = [
-            run.index for node in self.nodes for run in node.masm.runs
-        ]
-        bounds = kernels.partition_points(
-            indexes, begin_key, end_key, blocks_per_partition
-        )
 
-        def scan_partition(lo: int, hi: Optional[int]) -> Iterator[tuple]:
-            part_hi = end_key if hi is None else hi
+        def scan_partition(lo: int, hi: int) -> Iterator[tuple]:
             streams = [
-                node.masm.range_scan(lo, part_hi, query_ts=query_ts)
+                node.masm.range_scan(lo, hi, query_ts=query_ts)
                 for node in self.nodes
             ]
             return heapq.merge(*streams, key=self.schema.key)
 
         return chain.from_iterable(
             scan_partition(lo, hi)
-            for lo, hi in kernels.partition_ranges(bounds, begin_key, end_key)
+            for lo, hi in self.partition_bounds(
+                begin_key, end_key, blocks_per_partition
+            )
         )
+
+    def partition_bounds(
+        self,
+        begin_key: int,
+        end_key: int,
+        blocks_per_partition: int = kernels.DEFAULT_BLOCKS_PER_PARTITION,
+    ) -> list[tuple[int, int]]:
+        """Key-range partitions of ``[begin, end]`` from the run indexes.
+
+        Each ``(lo, hi)`` is a closed sub-range; together they cover the
+        requested range exactly.  Bounds come from block boundaries
+        harvested across every node's run indexes, so partition sizes
+        track where the cached updates actually are.  This is the shared
+        planning step for :meth:`partitioned_range_scan` and the
+        replicated fan-out executor (which schedules hedges and deadline
+        checks per partition).
+        """
+        indexes = [
+            run.index for node in self.nodes for run in node.masm.runs
+        ]
+        bounds = kernels.partition_points(
+            indexes, begin_key, end_key, blocks_per_partition
+        )
+        return [
+            (lo, end_key if hi is None else hi)
+            for lo, hi in kernels.partition_ranges(bounds, begin_key, end_key)
+        ]
 
     def measure_scan(self, begin_key: int, end_key: int) -> TimeBreakdown:
         """Run a fan-out scan and return the cross-node critical path."""

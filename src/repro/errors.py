@@ -96,6 +96,44 @@ class QuotaExceededError(BackpressureError):
         self.retry_after = retry_after
 
 
+class DeadlineExceededError(ReproError):
+    """A request's end-to-end deadline budget expired mid-execution.
+
+    Raised only under the STRICT partial-result policy; DEGRADED tenants
+    instead receive a partial :class:`~repro.server.router.QueryResult`
+    carrying the uncovered key ranges.  Carries how far over budget the
+    request was when the overrun was detected, for operator visibility.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, budget: float, elapsed: float) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class ReplicationError(ReproError):
+    """A replica-set operation failed (ship, promote, or catch-up)."""
+
+
+class NoHealthyReplicaError(ReplicationError):
+    """Every replica of a shard was crashed or circuit-broken.
+
+    Raised when a scan (or write) cannot find any replica to serve it —
+    the shard is fully unavailable until a replica recovers.
+    """
+
+
+class ReplicaUnavailableError(StorageError):
+    """An operation reached a replica that is crashed or stuck.
+
+    A :class:`StorageError` (unlike :class:`SimulatedCrash`) because the
+    *caller* survives: the router treats it as a typed failure, records it
+    on the replica's circuit breaker, and fails over to a healthy peer.
+    """
+
+
 class TransactionError(ReproError):
     """A transaction violated the concurrency-control protocol."""
 

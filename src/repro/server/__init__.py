@@ -13,10 +13,23 @@ p50/p99/p999 latency surfaces, queue depths and shed/delay counters.
 """
 
 from repro.server.frontdoor import LATENCY_RESERVOIR, FrontDoor
+from repro.server.health import (
+    BreakerState,
+    CircuitBreaker,
+    FleetHealth,
+    HedgePolicy,
+    LatencyTracker,
+    ReplicaHealth,
+)
 from repro.server.quotas import QuotaPolicy, TenantAdmission, TenantQuota
 from repro.server.router import (
+    Deadline,
+    DeadlineMode,
+    DeadlinePolicy,
+    FanoutOutcome,
     QueryRequest,
     QueryResult,
+    ReplicatedBackend,
     RequestRouter,
     SingleEngineBackend,
     WarehouseBackend,
@@ -31,11 +44,22 @@ from repro.server.session import (
 
 __all__ = [
     "ArrivalKind",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineMode",
+    "DeadlinePolicy",
+    "FanoutOutcome",
+    "FleetHealth",
     "FrontDoor",
+    "HedgePolicy",
     "LATENCY_RESERVOIR",
+    "LatencyTracker",
     "QueryRequest",
     "QueryResult",
     "QuotaPolicy",
+    "ReplicaHealth",
+    "ReplicatedBackend",
     "RequestRouter",
     "ServingStats",
     "SessionManager",

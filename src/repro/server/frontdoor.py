@@ -23,9 +23,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.errors import DeadlineExceededError
 from repro.obs import get_registry
 from repro.server.quotas import TenantAdmission, TenantQuota
-from repro.server.router import QueryRequest, QueryResult, RequestRouter
+from repro.server.router import (
+    DeadlinePolicy,
+    QueryRequest,
+    QueryResult,
+    RequestRouter,
+)
 
 
 #: Reservoir size for latency histograms: p999 needs more resolution than
@@ -41,13 +47,23 @@ class FrontDoor:
         backend,
         quotas: Optional[Dict[str, TenantQuota]] = None,
         scope: Optional[str] = None,
+        deadlines: Optional[Dict[str, DeadlinePolicy]] = None,
+        seed: int = 0,
+        keep_records: bool = False,
     ) -> None:
         registry = get_registry()
         self.scope = scope if scope is not None else registry.unique_scope("server")
         self.backend = backend
         self.clock = backend.clock
-        self.router = RequestRouter(backend, scope=self.scope)
-        self.admission = TenantAdmission(self.clock, quotas, scope=self.scope)
+        self.router = RequestRouter(
+            backend, scope=self.scope, keep_records=keep_records
+        )
+        self.admission = TenantAdmission(
+            self.clock, quotas, scope=self.scope, seed=seed
+        )
+        #: Per-tenant end-to-end deadline budgets; tenants without an entry
+        #: run unbounded (the pre-deadline behaviour).
+        self.deadlines: Dict[str, DeadlinePolicy] = dict(deadlines or {})
         self._depth_gauge = registry.gauge(f"{self.scope}.queue_depth")
         self._depth_hist = registry.histogram(f"{self.scope}.queue_depth_sampled")
         self._tenant_instruments: Dict[str, dict] = {}
@@ -68,11 +84,27 @@ class FrontDoor:
 
     # ------------------------------------------------------------ execution
     def execute(self, request: QueryRequest) -> QueryResult:
-        """Route one admitted request; record its latency surfaces."""
-        result = self.router.execute(request)
+        """Route one admitted request; record its latency surfaces.
+
+        The tenant's :class:`DeadlinePolicy` (if any) is armed here and
+        threaded through the router's fan-out.  STRICT overruns surface as
+        the typed retryable :class:`DeadlineExceededError` and land on the
+        tenant's ``deadline_exceeded`` counter; DEGRADED overruns come
+        back as a partial :class:`QueryResult` carrying the uncovered key
+        ranges and count on ``partial_results``.
+        """
         instruments = self._instruments(request.tenant)
+        try:
+            result = self.router.execute(
+                request, deadline_policy=self.deadlines.get(request.tenant)
+            )
+        except DeadlineExceededError:
+            instruments["deadline_exceeded"].add(1)
+            raise
         instruments["requests"].add(1)
         instruments["rows"].add(result.rows)
+        if result.partial:
+            instruments["partial_results"].add(1)
         instruments["latency"].observe(result.latency_seconds)
         instruments["queue_wait"].observe(
             max(0.0, result.started - request.arrival)
@@ -111,6 +143,10 @@ class FrontDoor:
                 "requests": registry.counter(f"{prefix}.requests"),
                 "rows": registry.counter(f"{prefix}.rows"),
                 "rejected": registry.counter(f"{prefix}.rejected"),
+                "deadline_exceeded": registry.counter(
+                    f"{prefix}.deadline_exceeded"
+                ),
+                "partial_results": registry.counter(f"{prefix}.partial_results"),
                 "latency": registry.histogram(
                     f"{prefix}.latency_seconds", reservoir=LATENCY_RESERVOIR
                 ),
@@ -139,6 +175,8 @@ class FrontDoor:
                 "requests": instruments["requests"].value,
                 "rows": instruments["rows"].value,
                 "rejected": instruments["rejected"].value,
+                "deadline_exceeded": instruments["deadline_exceeded"].value,
+                "partial_results": instruments["partial_results"].value,
                 "latency_p50_ms": latency.percentile(50) * 1e3,
                 "latency_p99_ms": latency.percentile(99) * 1e3,
                 "latency_p999_ms": latency.percentile(99.9) * 1e3,

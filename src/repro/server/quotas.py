@@ -20,12 +20,22 @@ which tenant absorbed the flood.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.governor import TokenBucket
 from repro.errors import QuotaExceededError
 from repro.obs import get_registry
+
+#: ``retry_after`` jitter: the advertised backoff is the true token wait
+#: stretched by up to this fraction, drawn from the admission table's
+#: seeded RNG.  Shed closed-loop clients all learn the same ``wait`` from
+#: the same empty bucket; without jitter they sleep in lockstep and return
+#: as a synchronized herd that sheds again — the jitter de-phases them
+#: deterministically (same seed, same spread).  Always >= the true wait,
+#: so a client that honours ``retry_after`` finds a token accrued.
+RETRY_JITTER_FRACTION = 1.0
 
 
 class QuotaPolicy(enum.Enum):
@@ -94,10 +104,13 @@ class TenantAdmission:
         clock,
         quotas: Optional[Dict[str, TenantQuota]] = None,
         scope: str = "server",
+        seed: int = 0,
     ) -> None:
         self.clock = clock
         self.scope = scope
         self._tenants: Dict[str, _TenantState] = {}
+        #: Deterministic jitter source for shed ``retry_after`` values.
+        self._jitter_rng = random.Random(f"{seed}:retry-jitter")
         for tenant, quota in (quotas or {}).items():
             self.set_quota(tenant, quota)
 
@@ -135,11 +148,14 @@ class TenantAdmission:
             state.delayed.add(1)
             return wait
         state.shed.add(1)
+        retry_after = wait * (
+            1.0 + RETRY_JITTER_FRACTION * self._jitter_rng.random()
+        )
         raise QuotaExceededError(
             f"tenant {tenant!r} over quota ({quota.rate:g}/s, "
-            f"policy={quota.policy.value}); retry after {wait:.6f}s",
+            f"policy={quota.policy.value}); retry after {retry_after:.6f}s",
             tenant=tenant,
-            retry_after=wait,
+            retry_after=retry_after,
         )
 
     def report(self) -> Dict[str, dict]:

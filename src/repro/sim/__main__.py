@@ -45,6 +45,16 @@ SCENARIOS = {
         update_ops=50,
         crashers=1,
     ),
+    # Replication chaos: a 3-way replica set beside the main engine,
+    # driven through updates, replica kills (often the primary, forcing
+    # failover), recover + catch-up rejoins, and reads on random ONLINE
+    # replicas — every read model-checked, final state byte-identical
+    # across all replicas.
+    "replication": lambda: replace(
+        SimConfig.canonical(),
+        replicators=1,
+        replica_ops=30,
+    ),
 }
 
 

@@ -266,3 +266,107 @@ def txn_writer(env, name: str, seed: int, txns: int, keys_per_txn: int = 3):
                 UpdateRecord(commit_ts, key, staged.type, staged.content)
             )
         yield
+
+def replicator(env, name: str, seed: int, ops: int, replication: int = 3):
+    """Drive a replica set through updates, crashes, failover and rejoin.
+
+    The set lives beside the main engine (own oracle, own clock, own
+    model) so replica chaos never perturbs the other actors' oracle
+    checks — what interleaves is the *schedule*.  Every read pins a
+    snapshot timestamp, picks a random ONLINE replica (frequently a
+    freshly promoted primary or a rejoined catcher-upper) and must match
+    the model byte-for-byte; the final step rejoins every crashed node
+    and asserts all replicas answer identically.
+    """
+    from repro.core.replication import ReplicaSet
+    from repro.sim.model import ModelTable
+    from repro.storage.clock import SimClock
+    from repro.txn.timestamps import TimestampOracle
+
+    rng = random.Random(f"{seed}:{name}")
+    oracle = TimestampOracle()
+    rows = max(env.config.rows // 2, 8)
+    stride = env.config.key_stride
+    universe = rows * stride
+    rset = ReplicaSet.build(
+        0,
+        env.schema,
+        oracle,
+        SimClock(),
+        replication,
+        records_per_node=rows * 4,
+        masm_config=env.masm_config,
+    )
+    base = [(i * stride, f"{name}-base{i}") for i in range(rows)]
+    for replica in rset.replicas:
+        replica.table.bulk_load(base)
+    model = ModelTable(env.schema, base)
+    crashed: list[int] = []
+
+    def check_scan(replica_id: int, context: str) -> None:
+        query_ts = oracle.next()
+        expected = model.snapshot_records(query_ts, 0, universe)
+        got = list(rset.scan(0, universe, query_ts, replica_id=replica_id))
+        if got != expected:
+            want = {env.schema.key(r): r for r in expected}
+            have = {env.schema.key(r): r for r in got}
+            raise AssertionError(
+                f"{name}: {context} read on replica {replica_id} at "
+                f"ts={query_ts} diverged from model: "
+                f"{diff_states(want, have)}"
+            )
+
+    for i in range(ops):
+        roll = rng.random()
+        online = rset.online_ids()
+        if roll < 0.45:
+            state = model.snapshot(2**62)
+            live = sorted(state)
+            free = [k for k in range(universe) if k not in state]
+            sub = rng.random()
+            ts = oracle.next()
+            if (sub < 0.4 or not live) and free:
+                key = rng.choice(free)
+                update = UpdateRecord(
+                    ts, key, UpdateType.INSERT, (key, f"{name}-i{i}")
+                )
+            elif sub < 0.6 and live:
+                key = rng.choice(live)
+                update = UpdateRecord(ts, key, UpdateType.DELETE, None)
+            elif live:
+                key = rng.choice(live)
+                update = UpdateRecord(
+                    ts, key, UpdateType.MODIFY, {"payload": f"{name}-m{i}"}
+                )
+            else:  # key space exhausted this step
+                yield
+                continue
+            rset.apply(update)
+            model.record(update)
+        elif roll < 0.60 and len(online) > 1:
+            # Kill a random ONLINE replica — killing the primary forces a
+            # failover; the set must keep answering either way.
+            victim = rng.choice(online)
+            rset.crash_replica(victim)
+            crashed.append(victim)
+        elif roll < 0.75 and crashed:
+            rejoiner = crashed.pop(0)
+            rset.recover_replica(rejoiner)
+            # Yield while CATCHING_UP: updates shipped in this window are
+            # exactly what catch_up() must find in the primary's log.
+            yield
+            rset.catch_up(rejoiner)
+            check_scan(rejoiner, "post-rejoin")
+        else:
+            check_scan(rng.choice(online), "steady-state")
+        yield
+
+    # Drain: bring everyone back and require byte-identical answers.
+    while crashed:
+        rejoiner = crashed.pop(0)
+        rset.recover_replica(rejoiner)
+        rset.catch_up(rejoiner)
+        yield
+    for replica_id in rset.online_ids():
+        check_scan(replica_id, "final")
+    yield

@@ -51,6 +51,8 @@ class SimConfig:
     txn_writers: int = 0
     #: Serving front doors (see :func:`repro.sim.actors.server`).
     servers: int = 0
+    #: Replica-set chaos drivers (see :func:`repro.sim.actors.replicator`).
+    replicators: int = 0
     update_ops: int = 40
     scans: int = 3
     scan_batch: int = 16
@@ -59,6 +61,7 @@ class SimConfig:
     crasher_idle: int = 10
     txns: int = 3
     serve_requests: int = 8
+    replica_ops: int = 24
     #: Run-index blocks per kernel merge partition (None = library default).
     #: The ``kernels`` scenario sets this tiny so even the simulation's
     #: small runs split into several partitions, exercising the partition
@@ -277,6 +280,11 @@ def build_actor_factories(
         "server",
         config.servers,
         lambda n: actors.server(env, n, seed, config.serve_requests),
+    )
+    add(
+        "replicator",
+        config.replicators,
+        lambda n: actors.replicator(env, n, seed, config.replica_ops),
     )
     return factories
 

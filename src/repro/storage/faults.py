@@ -316,6 +316,96 @@ class FaultyDevice:
             self._flip_stored_bit(offset, len(data))
 
 
+class NodeFaultPlan:
+    """A node-level fault schedule keyed to *simulated time*.
+
+    Device-level plans (:class:`FaultPlan`) model media faults per I/O
+    operation; a :class:`NodeFaultPlan` models whole-node pathologies the
+    availability layer must survive — the three shapes that dominate tail
+    latency under fan-out:
+
+    * **crash** — from ``crash_at`` on, every operation fails immediately
+      with :class:`ReplicaUnavailableError` (fail-fast node death) until
+      :meth:`recover` is called;
+    * **stuck** — inside ``[stuck_at, stuck_until)`` an operation first
+      burns ``stuck_op_seconds`` of the caller's clock (a hung RPC eating
+      the deadline budget), *then* fails;
+    * **slow-degrade** — inside ``[slow_at, slow_until)`` operations
+      succeed but charge ``slow_op_seconds`` of extra latency, ramping
+      linearly over ``slow_ramp_seconds`` (brown-out, not black-out).
+
+    Consulted by :class:`~repro.core.replication.ReplicaSet` at the scan /
+    apply boundary (not per device I/O), so cache-served scans on a dead
+    node still fail — the node is gone, not just its disk.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_at: Optional[float] = None,
+        stuck_at: Optional[float] = None,
+        stuck_until: float = float("inf"),
+        stuck_op_seconds: float = 0.05,
+        slow_at: Optional[float] = None,
+        slow_until: float = float("inf"),
+        slow_op_seconds: float = 0.02,
+        slow_ramp_seconds: float = 0.0,
+    ) -> None:
+        self.crash_at = crash_at
+        self.stuck_at = stuck_at
+        self.stuck_until = stuck_until
+        self.stuck_op_seconds = stuck_op_seconds
+        self.slow_at = slow_at
+        self.slow_until = slow_until
+        self.slow_op_seconds = slow_op_seconds
+        self.slow_ramp_seconds = slow_ramp_seconds
+
+    # ---------------------------------------------------------------- queries
+    def crashed(self, now: float) -> bool:
+        return self.crash_at is not None and now >= self.crash_at
+
+    def stuck(self, now: float) -> bool:
+        return self.stuck_at is not None and self.stuck_at <= now < self.stuck_until
+
+    def slow_penalty(self, now: float) -> float:
+        if self.slow_at is None or not (self.slow_at <= now < self.slow_until):
+            return 0.0
+        if self.slow_ramp_seconds > 0.0:
+            frac = min(1.0, (now - self.slow_at) / self.slow_ramp_seconds)
+            return self.slow_op_seconds * frac
+        return self.slow_op_seconds
+
+    # ------------------------------------------------------------ consultation
+    def before_op(self, clock) -> None:
+        """Consult the plan before a node operation.
+
+        Raises :class:`ReplicaUnavailableError` for crash/stuck (charging
+        the stuck penalty first), advances ``clock`` for slow-degrade.
+        """
+        from repro.errors import ReplicaUnavailableError
+
+        now = clock.now
+        if self.crashed(now):
+            _count_fault("node_crash")
+            raise ReplicaUnavailableError(f"node crashed at t={self.crash_at}")
+        if self.stuck(now):
+            if self.stuck_op_seconds > 0.0:
+                clock.advance(self.stuck_op_seconds)
+            _count_fault("node_stuck")
+            raise ReplicaUnavailableError(
+                f"node stuck (hung {self.stuck_op_seconds}s before failing)"
+            )
+        penalty = self.slow_penalty(now)
+        if penalty > 0.0:
+            _count_fault("node_slow")
+            get_registry().counter("faults.node_slow_seconds").add(penalty)
+            clock.advance(penalty)
+
+    def recover(self) -> None:
+        """Clear the crash schedule (the node was repaired and restarted)."""
+        self.crash_at = None
+
+
 # ---------------------------------------------------------------------------
 # Crash points.  Library code calls crash_point("site") at moments worth
 # crashing at; the call is a no-op unless a plan with a matching crash_at()

@@ -25,6 +25,7 @@ FAST = {
     "ablation-skew": {"scale": 0.2, "updates": 3000},
     "serving-scale": {"scale": 0.02},
     "noisy-neighbor": {"scale": 0.15, "requests": 2},
+    "availability-under-chaos": {"scale": 0.15, "requests": 40},
 }
 
 

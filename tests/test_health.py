@@ -1,0 +1,156 @@
+"""Failure detection: circuit breakers, latency trackers, route order."""
+
+import pytest
+
+from repro.server.health import (
+    BreakerState,
+    CircuitBreaker,
+    FleetHealth,
+    HedgePolicy,
+    LatencyTracker,
+)
+from repro.storage.clock import SimClock
+
+pytestmark = pytest.mark.chaos
+
+
+# ------------------------------------------------------------ circuit breaker
+def test_breaker_validates_parameters():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        CircuitBreaker(clock, failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(clock, reset_seconds=0.0)
+
+
+def test_breaker_opens_on_consecutive_failures_only():
+    clock = SimClock()
+    breaker = CircuitBreaker(clock, failure_threshold=3, reset_seconds=1.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()  # resets the consecutive count
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+
+
+def test_breaker_half_open_probe_success_closes():
+    clock = SimClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, reset_seconds=1.0)
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    clock.advance(1.0)
+    # First caller past the reset window is the probe...
+    assert breaker.allow()
+    assert breaker.state is BreakerState.HALF_OPEN
+    # ...and concurrent callers keep failing fast while it is out.
+    assert not breaker.allow()
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = SimClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, reset_seconds=1.0)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.allow()  # the probe
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    # A fresh full reset window starts from the probe failure.
+    assert not breaker.allow()
+    clock.advance(1.0)
+    assert breaker.allow()
+
+
+def test_would_allow_is_pure():
+    clock = SimClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, reset_seconds=1.0)
+    breaker.record_failure()
+    clock.advance(1.0)
+    # Peeking does not claim the probe or transition state...
+    assert breaker.would_allow()
+    assert breaker.would_allow()
+    assert breaker.state is BreakerState.OPEN
+    # ...so the real attempt still gets it.
+    assert breaker.allow()
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.would_allow()  # probe out: peek says no
+
+
+# ------------------------------------------------------------ latency tracker
+def test_tracker_warms_up_before_hedging():
+    tracker = LatencyTracker(min_samples=4)
+    for _ in range(3):
+        tracker.observe(0.010)
+    assert tracker.hedge_delay(3.0, 1e-4) is None
+    tracker.observe(0.010)
+    delay = tracker.hedge_delay(3.0, 1e-4)
+    assert delay is not None
+    # Identical samples: deviation ~0, delay ~ the mean.
+    assert delay == pytest.approx(0.010, rel=0.05)
+
+
+def test_tracker_deviation_raises_delay():
+    steady = LatencyTracker(min_samples=4)
+    jittery = LatencyTracker(min_samples=4)
+    for i in range(20):
+        steady.observe(0.010)
+        jittery.observe(0.010 if i % 2 else 0.030)
+    assert jittery.hedge_delay(3.0, 1e-4) > steady.hedge_delay(3.0, 1e-4)
+
+
+def test_tracker_floor_guards_near_zero_ewma():
+    tracker = LatencyTracker(min_samples=2)
+    for _ in range(8):
+        tracker.observe(1e-9)
+    assert tracker.hedge_delay(3.0, 1e-4) == 1e-4
+
+
+# --------------------------------------------------------------- fleet health
+def test_route_order_primary_first_blocked_last():
+    clock = SimClock()
+    fleet = FleetHealth(clock, scope="test.fleet", failure_threshold=1)
+    assert fleet.route_order(0, 1, [0, 1, 2]) == [1, 0, 2]
+    # Open the primary's breaker: it sorts to the back, but stays listed
+    # (a fully-open shard still deserves one last-resort attempt).
+    fleet.for_replica(0, 1).failure()
+    assert fleet.route_order(0, 1, [0, 1, 2]) == [0, 2, 1]
+
+
+def test_route_order_does_not_claim_probe():
+    clock = SimClock()
+    fleet = FleetHealth(
+        clock, scope="test.fleet2", failure_threshold=1, reset_seconds=0.5
+    )
+    fleet.for_replica(0, 0).failure()
+    clock.advance(0.5)
+    for _ in range(3):  # ordering peeks; the probe must survive all of them
+        fleet.route_order(0, 0, [0, 1])
+    assert fleet.for_replica(0, 0).breaker.state is BreakerState.OPEN
+    assert fleet.for_replica(0, 0).allow()  # the actual attempt probes
+
+
+def test_hedge_disabled_policy():
+    clock = SimClock()
+    fleet = FleetHealth(
+        clock, scope="test.fleet3", hedge=HedgePolicy(enabled=False)
+    )
+    for _ in range(20):
+        fleet.for_replica(0, 0).success(0.01)
+    assert fleet.hedge_delay(0, 0) is None
+
+
+def test_fleet_report_shape():
+    clock = SimClock()
+    fleet = FleetHealth(clock, scope="test.fleet4", failure_threshold=1)
+    fleet.for_replica(0, 0).success(0.02)
+    fleet.for_replica(0, 1).failure()
+    report = fleet.report()
+    assert report["0.0"]["state"] == "closed"
+    assert report["0.1"]["state"] == "open"
+    assert report["0.0"]["samples"] == 1

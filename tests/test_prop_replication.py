@@ -1,0 +1,139 @@
+"""Property: chaos never changes an answer, only where it comes from.
+
+For any update stream, any crash/brownout schedule, and any scan range,
+a hedged/failed-over fan-out at a pinned snapshot timestamp must return
+exactly the rows the fault-free model oracle holds at that timestamp —
+no row newer than the pinned ts, no duplicates, no drops.  The pinned ts
+is frequently drawn *mid-stream*, so the scan also proves that updates
+applied after the pin stay invisible even while replicas fail over.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replication import ReplicatedWarehouse
+from repro.core.update import UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.obs import use_registry
+from repro.server import FleetHealth, HedgePolicy, ReplicatedBackend
+from repro.sim.model import ModelTable
+from repro.storage.clock import SimClock
+from repro.storage.faults import NodeFaultPlan
+
+pytestmark = pytest.mark.chaos
+
+SCHEMA = synthetic_schema()
+ROWS = 90
+UNIVERSE = 4 * ROWS
+
+# One op: (kind, key_choice, tag).  Kinds mix updates with chaos levers.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "delete", "modify", "flush", "crash", "rejoin", "slow"]
+        ),
+        st.integers(min_value=0, max_value=UNIVERSE - 1),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=4,
+    max_size=50,
+)
+
+
+@given(
+    ops=ops_strategy,
+    pin_choice=st.integers(min_value=0, max_value=10**6),
+    lo=st.integers(min_value=0, max_value=UNIVERSE - 1),
+    span=st.integers(min_value=1, max_value=UNIVERSE),
+)
+@settings(max_examples=25, deadline=None)
+def test_fanout_scan_matches_fault_free_oracle(ops, pin_choice, lo, span):
+    with use_registry():
+        clock = SimClock()
+        slow_plan = NodeFaultPlan(slow_op_seconds=0.05)
+        warehouse = ReplicatedWarehouse(
+            SCHEMA,
+            2,
+            clock,
+            replication=3,
+            records_per_node=4 * ROWS,
+            node_faults={(1, 0): slow_plan},
+        )
+        base = [(i * 2, f"rec-{i}") for i in range(2 * ROWS)]
+        warehouse.bulk_load(base)
+        model = ModelTable(SCHEMA, base)
+        # An eager hedge policy so brownout windows actually hedge even in
+        # the short streams hypothesis generates.
+        health = FleetHealth(
+            clock, scope="prop.chaos", hedge=HedgePolicy(min_samples=2)
+        )
+        backend = ReplicatedBackend(warehouse, health=health, scope="prop.chaos")
+
+        crashed = False  # shard 0's replica 0 (its initial primary)
+        for kind, key, tag in ops:
+            state = model.snapshot(2**62)
+            if kind == "insert":
+                if key in state:
+                    continue
+                ts = warehouse.oracle.next()
+                update = UpdateRecord(ts, key, UpdateType.INSERT, (key, f"p{tag}"))
+            elif kind == "delete":
+                if key not in state:
+                    continue
+                ts = warehouse.oracle.next()
+                update = UpdateRecord(ts, key, UpdateType.DELETE, None)
+            elif kind == "modify":
+                if key not in state:
+                    continue
+                ts = warehouse.oracle.next()
+                update = UpdateRecord(
+                    ts, key, UpdateType.MODIFY, {"payload": f"m{tag}"}
+                )
+            elif kind == "flush":
+                warehouse.flush_all()
+                continue
+            elif kind == "crash":
+                if not crashed:
+                    warehouse.crash_replica(0, 0)
+                    crashed = True
+                continue
+            elif kind == "rejoin":
+                if crashed:
+                    warehouse.rejoin_replica(0, 0)
+                    crashed = False
+                continue
+            else:  # slow: toggle the brownout on shard 1's replica 0
+                slow_plan.slow_at = (
+                    clock.now if slow_plan.slow_at is None else None
+                )
+                continue
+            warehouse.shards[warehouse.route(update.key)].apply(update)
+            model.record(update)
+
+        # Pin a snapshot — often mid-stream, so later updates must stay
+        # invisible — then scan through the hedged/failover executor.
+        if model.history:
+            pinned = model.history[pin_choice % len(model.history)].timestamp
+        else:
+            pinned = warehouse.oracle.next()
+        hi = min(lo + span, UNIVERSE)
+        outcome = backend.fanout_scan(lo, hi, pinned)
+        expected = model.snapshot_records(pinned, lo, hi)
+        assert outcome.records == expected
+        assert outcome.uncovered == []
+
+        # The same pin re-scanned after MORE updates still answers
+        # identically: the executor cannot leak post-pin rows.
+        extra_key = next(
+            (k for k in range(1, UNIVERSE, 2) if k not in model.snapshot(2**62)),
+            None,
+        )
+        if extra_key is not None:
+            ts = warehouse.oracle.next()
+            update = UpdateRecord(
+                ts, extra_key, UpdateType.INSERT, (extra_key, "late")
+            )
+            warehouse.shards[warehouse.route(extra_key)].apply(update)
+            model.record(update)
+            assert backend.fanout_scan(lo, hi, pinned).records == expected

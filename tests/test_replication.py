@@ -1,0 +1,465 @@
+"""Shard replication: ships, failover, catch-up, hedged/deadline fan-out.
+
+``MASM_CHAOS_SEED`` selects the chaos seed (CI runs two fixed seeds); the
+assertions hold for any seed — correctness here is byte-identity against
+either a sibling replica or the model oracle, never golden values.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.replication import (
+    ReplicaSet,
+    ReplicaState,
+    ReplicatedWarehouse,
+)
+from repro.core.update import UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.errors import (
+    DeadlineExceededError,
+    NoHealthyReplicaError,
+    QuotaExceededError,
+    ReplicaUnavailableError,
+    ReplicationError,
+)
+from repro.obs import use_registry
+from repro.server import (
+    DeadlineMode,
+    DeadlinePolicy,
+    FrontDoor,
+    HedgePolicy,
+    FleetHealth,
+    QueryRequest,
+    ReplicatedBackend,
+    RequestRouter,
+)
+from repro.sim.model import ModelTable
+from repro.storage.clock import SimClock
+from repro.storage.faults import NodeFaultPlan
+from repro.txn.timestamps import TimestampOracle
+
+pytestmark = pytest.mark.chaos
+
+#: CI exercises two fixed seeds (see .github/workflows/ci.yml).
+SEED = int(os.environ.get("MASM_CHAOS_SEED", "3"))
+
+SCHEMA = synthetic_schema()
+ROWS = 120
+
+
+def build_set(replication=3, node_faults=None, clock=None):
+    oracle = TimestampOracle()
+    rset = ReplicaSet.build(
+        0,
+        SCHEMA,
+        oracle,
+        clock or SimClock(),
+        replication,
+        records_per_node=4 * ROWS,
+        node_faults=node_faults,
+    )
+    base = [(i * 2, f"rec-{i}") for i in range(ROWS)]
+    for replica in rset.replicas:
+        replica.table.bulk_load(base)
+    return rset, ModelTable(SCHEMA, base)
+
+
+def apply_mixed(rset, model, count, tag, rng=None):
+    rng = rng or random.Random(f"{SEED}:{tag}")
+    for i in range(count):
+        state = model.snapshot(2**62)
+        live = sorted(state)
+        ts = rset.oracle.next()
+        roll = rng.random()
+        if roll < 0.3:
+            key = rng.randrange(1, 2 * ROWS, 2)
+            if key in state:
+                update = UpdateRecord(
+                    ts, key, UpdateType.MODIFY, {"payload": f"{tag}-{i}"}
+                )
+            else:
+                update = UpdateRecord(
+                    ts, key, UpdateType.INSERT, (key, f"{tag}-{i}")
+                )
+        elif roll < 0.45 and live:
+            update = UpdateRecord(ts, rng.choice(live), UpdateType.DELETE, None)
+        else:
+            update = UpdateRecord(
+                ts, rng.choice(live), UpdateType.MODIFY,
+                {"payload": f"{tag}-{i}"},
+            )
+        rset.apply(update)
+        model.record(update)
+
+
+def assert_replicas_identical(rset, model, context):
+    """Every ONLINE replica must answer a pinned-ts scan byte-identically."""
+    query_ts = rset.oracle.next()
+    expected = model.snapshot_records(query_ts, 0, 4 * ROWS)
+    for replica_id in rset.online_ids():
+        got = list(rset.scan(0, 4 * ROWS, query_ts, replica_id=replica_id))
+        assert got == expected, f"{context}: replica {replica_id} diverged"
+
+
+# ------------------------------------------------------------------ shipping
+def test_apply_replicates_to_all_followers():
+    with use_registry():
+        rset, model = build_set()
+        apply_mixed(rset, model, 60, "ship")
+        assert rset.online_ids() == [0, 1, 2]
+        assert_replicas_identical(rset, model, "after ships")
+
+
+def test_replicas_identical_despite_different_flush_schedules():
+    with use_registry():
+        rset, model = build_set()
+        apply_mixed(rset, model, 30, "flush")
+        # Skew the physical layout: flush one follower, migrate nothing
+        # else.  Visibility is a pure function of (stream, ts), so the
+        # answers must not move.
+        rset.replica(1).masm.flush_buffer()
+        apply_mixed(rset, model, 30, "flush2")
+        assert_replicas_identical(rset, model, "after skewed flushes")
+
+
+def test_replication_requires_at_least_one_replica():
+    with pytest.raises(ReplicationError):
+        ReplicaSet.build(0, SCHEMA, TimestampOracle(), SimClock(), 0)
+
+
+# ------------------------------------------------------------------ failover
+def test_primary_crash_promotes_next_follower():
+    with use_registry():
+        rset, model = build_set()
+        apply_mixed(rset, model, 40, "pre-crash")
+        rset.crash_replica(0)
+        assert rset.primary_id == 1
+        assert rset.replica(0).state is ReplicaState.CRASHED
+        # The promoted follower carries the full shipped history...
+        assert_replicas_identical(rset, model, "post-failover")
+        # ...and ingests new writes, still replicated to the survivor.
+        apply_mixed(rset, model, 20, "post-crash")
+        assert_replicas_identical(rset, model, "post-failover writes")
+
+
+def test_primary_fault_mid_apply_retries_on_promoted():
+    with use_registry():
+        clock = SimClock()
+        plan = NodeFaultPlan()
+        rset, model = build_set(node_faults={0: plan}, clock=clock)
+        apply_mixed(rset, model, 10, "warm")
+        plan.crash_at = clock.now  # the next op on replica 0 fails typed
+        ts = rset.oracle.next()
+        update = UpdateRecord(ts, 1, UpdateType.INSERT, (1, "survives"))
+        rset.apply(update)  # one successful ingest, no client-visible error
+        model.record(update)
+        assert rset.primary_id == 1
+        assert_replicas_identical(rset, model, "fault mid-apply")
+
+
+def test_follower_ship_failure_drops_follower():
+    with use_registry():
+        clock = SimClock()
+        plan = NodeFaultPlan()
+        rset, model = build_set(node_faults={2: plan}, clock=clock)
+        apply_mixed(rset, model, 10, "warm")
+        plan.crash_at = clock.now
+        apply_mixed(rset, model, 1, "drop")
+        # The failed ship may not leave a silently stale reader behind.
+        assert rset.replica(2).state is ReplicaState.CRASHED
+        assert rset.primary_id == 0
+        assert_replicas_identical(rset, model, "after follower drop")
+
+
+def test_all_replicas_down_raises_typed():
+    with use_registry():
+        rset, model = build_set(replication=2)
+        rset.crash_replica(1)
+        rset.crash_replica(0)
+        with pytest.raises(NoHealthyReplicaError):
+            rset.insert((1, "nope"))
+        with pytest.raises(ReplicaUnavailableError):
+            list(rset.scan(0, 4 * ROWS, rset.oracle.next()))
+
+
+# ------------------------------------------------------------------- rejoin
+def test_rejoin_recovers_and_catches_up():
+    with use_registry():
+        rset, model = build_set()
+        apply_mixed(rset, model, 40, "before")
+        rset.crash_replica(2)
+        # Everything shipped while it was down is strictly newer than its
+        # recovered watermark; catch-up must replay exactly that.
+        apply_mixed(rset, model, 25, "while-down")
+        replica = rset.recover_replica(2)
+        assert replica.state is ReplicaState.CATCHING_UP
+        applied = rset.catch_up(2)
+        assert applied == 25
+        assert replica.state is ReplicaState.ONLINE
+        assert_replicas_identical(rset, model, "after rejoin")
+
+
+def test_rejoined_primary_after_failover():
+    with use_registry():
+        rset, model = build_set()
+        apply_mixed(rset, model, 20, "before")
+        rset.crash_replica(0)  # old primary dies; 1 promoted
+        apply_mixed(rset, model, 20, "during")
+        assert rset.rejoin(0) == 20  # catches up from the NEW primary's log
+        assert rset.primary_id == 1  # rejoin does not usurp
+        assert_replicas_identical(rset, model, "old primary rejoined")
+        # The rejoined node is promotable again.
+        rset.crash_replica(1)
+        assert rset.primary_id == 0
+        assert_replicas_identical(rset, model, "re-promoted")
+
+
+def test_catch_up_requires_recovery_first():
+    with use_registry():
+        rset, _ = build_set()
+        rset.crash_replica(1)
+        with pytest.raises(ReplicationError):
+            rset.catch_up(1)
+        with pytest.raises(ReplicationError):
+            rset.recover_replica(0)  # not crashed
+
+
+# ------------------------------------------------- replicated fan-out (router)
+def build_warehouse(num_shards=2, replication=3, node_faults=None):
+    clock = SimClock()
+    warehouse = ReplicatedWarehouse(
+        SCHEMA,
+        num_shards,
+        clock,
+        replication=replication,
+        records_per_node=4 * ROWS,
+        node_faults=node_faults,
+    )
+    base = [(i * 2, f"rec-{i}") for i in range(num_shards * ROWS)]
+    warehouse.bulk_load(base)
+    model = ModelTable(SCHEMA, base)
+    return warehouse, model, clock
+
+
+def warehouse_mixed(warehouse, model, count, tag):
+    rng = random.Random(f"{SEED}:{tag}")
+    hi_key = 4 * ROWS * warehouse.num_shards
+    for i in range(count):
+        state = model.snapshot(2**62)
+        live = sorted(state)
+        ts = warehouse.oracle.next()
+        roll = rng.random()
+        if roll < 0.3:
+            key = rng.randrange(1, hi_key, 2)
+            kind = (
+                UpdateType.MODIFY if key in state else UpdateType.INSERT
+            )
+            content = (
+                {"payload": f"{tag}-{i}"}
+                if kind is UpdateType.MODIFY
+                else (key, f"{tag}-{i}")
+            )
+            update = UpdateRecord(ts, key, kind, content)
+        elif roll < 0.45 and live:
+            update = UpdateRecord(ts, rng.choice(live), UpdateType.DELETE, None)
+        else:
+            update = UpdateRecord(
+                ts, rng.choice(live), UpdateType.MODIFY,
+                {"payload": f"{tag}-{i}"},
+            )
+        warehouse.shards[warehouse.route(update.key)].apply(update)
+        model.record(update)
+
+
+def test_router_failover_returns_identical_rows():
+    with use_registry():
+        plan = NodeFaultPlan()
+        warehouse, model, clock = build_warehouse(
+            node_faults={(0, 0): plan}
+        )
+        warehouse_mixed(warehouse, model, 80, "router")
+        warehouse.flush_all()
+        router = RequestRouter(
+            ReplicatedBackend(warehouse, scope="test.failover"),
+            scope="test.failover",
+            keep_records=True,
+        )
+        hi = 8 * ROWS
+        baseline = router.execute(
+            QueryRequest("t", 0, 0, 0, hi, arrival=clock.now)
+        )
+        assert baseline.records == tuple(
+            model.snapshot_records(baseline.query_ts, 0, hi)
+        )
+        plan.crash_at = clock.now  # kill shard 0's primary under the router
+        failed_over = router.execute(
+            QueryRequest("t", 0, 1, 0, hi, arrival=clock.now)
+        )
+        assert failed_over.records == tuple(
+            model.snapshot_records(failed_over.query_ts, 0, hi)
+        )
+        assert warehouse.shards[0].primary_id == 1
+
+
+def test_hedged_read_same_snapshot_identical_rows():
+    with use_registry():
+        slow = NodeFaultPlan(slow_op_seconds=0.05)
+        warehouse, model, clock = build_warehouse(
+            num_shards=1, node_faults={(0, 0): slow}
+        )
+        warehouse_mixed(warehouse, model, 80, "hedge")
+        warehouse.flush_all()
+        health = FleetHealth(
+            clock, scope="test.hedge", hedge=HedgePolicy(min_samples=2)
+        )
+        backend = ReplicatedBackend(
+            warehouse, health=health, scope="test.hedge"
+        )
+        router = RequestRouter(
+            backend, scope="test.hedge", keep_records=True
+        )
+        hi = 4 * ROWS
+        for seq in range(3):  # warm the primary's latency tracker
+            router.execute(QueryRequest("t", 0, seq, 0, hi, arrival=clock.now))
+        slow.slow_at = clock.now  # brownout: primary drags, hedge fires
+        result = router.execute(
+            QueryRequest("t", 0, 9, 0, hi, arrival=clock.now)
+        )
+        assert result.records == tuple(
+            model.snapshot_records(result.query_ts, 0, hi)
+        )
+        outcome = backend.fanout_scan(0, hi, warehouse.oracle.next())
+        assert outcome.hedges >= 1
+        assert outcome.hedge_wins >= 1
+        assert outcome.records == model.snapshot_records(
+            warehouse.oracle.current, 0, hi
+        )
+
+
+def test_strict_deadline_raises_typed():
+    with use_registry():
+        warehouse, model, clock = build_warehouse(num_shards=1)
+        warehouse_mixed(warehouse, model, 120, "strict")
+        warehouse.flush_all()
+        router = RequestRouter(
+            ReplicatedBackend(
+                warehouse, blocks_per_partition=1, scope="test.strict"
+            ),
+            scope="test.strict",
+        )
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            router.execute(
+                QueryRequest("t", 0, 0, 0, 4 * ROWS, arrival=clock.now),
+                deadline_policy=DeadlinePolicy(budget_seconds=1e-9),
+            )
+        assert excinfo.value.elapsed > excinfo.value.budget
+        assert excinfo.value.retryable
+
+
+def test_degraded_deadline_returns_partial_with_uncovered():
+    with use_registry():
+        warehouse, model, clock = build_warehouse(num_shards=1)
+        warehouse_mixed(warehouse, model, 120, "degraded")
+        warehouse.flush_all()
+        router = RequestRouter(
+            ReplicatedBackend(
+                warehouse, blocks_per_partition=1, scope="test.degraded"
+            ),
+            scope="test.degraded",
+            keep_records=True,
+        )
+        hi = 4 * ROWS
+        result = router.execute(
+            QueryRequest("t", 0, 0, 0, hi, arrival=clock.now),
+            deadline_policy=DeadlinePolicy(
+                budget_seconds=1e-9, mode=DeadlineMode.DEGRADED
+            ),
+        )
+        assert result.partial
+        assert result.uncovered
+        # Returned rows + rows inside the uncovered ranges must exactly
+        # reassemble the full snapshot: nothing lost, nothing misleading.
+        expected = model.snapshot_records(result.query_ts, 0, hi)
+
+        def uncovered(key):
+            return any(lo <= key <= hi_ for lo, hi_ in result.uncovered)
+
+        assert list(result.records) == [
+            r for r in expected if not uncovered(SCHEMA.key(r))
+        ]
+
+
+def test_frontdoor_threads_deadlines_and_counts():
+    with use_registry():
+        warehouse, model, clock = build_warehouse(num_shards=1)
+        warehouse_mixed(warehouse, model, 120, "door")
+        warehouse.flush_all()
+        door = FrontDoor(
+            ReplicatedBackend(
+                warehouse, blocks_per_partition=1, scope="test.door"
+            ),
+            scope="test.door",
+            deadlines={
+                "strict": DeadlinePolicy(budget_seconds=1e-9),
+                "soft": DeadlinePolicy(
+                    budget_seconds=1e-9, mode=DeadlineMode.DEGRADED
+                ),
+            },
+        )
+        with pytest.raises(DeadlineExceededError):
+            door.query("strict", 0, 4 * ROWS)
+        result = door.query("soft", 0, 4 * ROWS, seq=1)
+        assert result.partial
+        report = door.tenant_report()
+        assert report["strict"]["deadline_exceeded"] == 1
+        assert report["soft"]["partial_results"] == 1
+        # Tenants without a policy run unbounded, as before.
+        complete = door.query("unbounded", 0, 4 * ROWS, seq=2)
+        assert not complete.partial
+
+
+# ---------------------------------------------------------------- quota jitter
+def test_retry_after_jitter_spreads_the_herd():
+    """Shed clients must not learn identical retry_after values."""
+    from repro.server.quotas import TenantAdmission, TenantQuota, QuotaPolicy
+
+    with use_registry():
+        clock = SimClock()
+        admission = TenantAdmission(
+            clock,
+            {"t": TenantQuota(rate=1.0, burst=1.0, policy=QuotaPolicy.SHED)},
+            scope="test.jitter",
+            seed=SEED,
+        )
+        assert admission.decide("t") == 0.0  # burst token
+        retry_afters = []
+        for _ in range(20):
+            with pytest.raises(QuotaExceededError) as excinfo:
+                admission.decide("t")
+            retry_afters.append(excinfo.value.retry_after)
+            clock.advance(1e-3)
+        # All shed at (nearly) the same bucket state, yet the advertised
+        # backoffs are spread out — no two clients wake in lockstep...
+        assert len(set(round(r, 9) for r in retry_afters)) == len(retry_afters)
+        # ...and every backoff stays within [wait, 2 * wait]: positive and
+        # bounded, never shorter than the true token wait.
+        assert all(0.0 < r <= 2.0 + 1e-9 for r in retry_afters)
+
+        # Same seed, same spread: the jitter is deterministic.
+        clock2 = SimClock()
+        again = TenantAdmission(
+            clock2,
+            {"t": TenantQuota(rate=1.0, burst=1.0, policy=QuotaPolicy.SHED)},
+            scope="test.jitter2",
+            seed=SEED,
+        )
+        again.decide("t")
+        replay = []
+        for _ in range(20):
+            with pytest.raises(QuotaExceededError) as excinfo:
+                again.decide("t")
+            replay.append(excinfo.value.retry_after)
+            clock2.advance(1e-3)
+        assert replay == retry_afters
