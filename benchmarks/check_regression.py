@@ -7,7 +7,10 @@ then does the same for the serving surface
 (:mod:`benchmarks.bench_serving` vs ``BENCH_serving.json``) and the
 availability-under-chaos surface (:mod:`benchmarks.bench_availability` vs
 ``BENCH_availability.json``, whose gates are absolute: zero wrong answers,
-success-rate floor, bounded failover-window p99, chaos actually engaged).
+success-rate floor, bounded failover-window p99, chaos actually engaged)
+and the durability-under-churn surface (:mod:`benchmarks.bench_durability`
+vs ``BENCH_durability.json``: bounded WAL, zero wrong responses, snapshot
+bootstrap and anti-entropy repair actually engaged).
 
 Absolute numbers are machine-dependent (the committed baseline and a CI
 runner differ in CPU and in workload size), so both gates compare
@@ -45,6 +48,7 @@ from bench_scan_merge_hotpath import (  # noqa: E402
 )
 
 import bench_availability  # noqa: E402
+import bench_durability  # noqa: E402
 import bench_serving  # noqa: E402
 
 BASELINE_FILE = RESULTS_DIR / "BENCH_scan_merge.json"
@@ -53,6 +57,8 @@ SERVING_BASELINE_FILE = RESULTS_DIR / "BENCH_serving.json"
 SERVING_FRESH_RESULT_FILE = "BENCH_serving.fresh.json"
 AVAILABILITY_BASELINE_FILE = RESULTS_DIR / "BENCH_availability.json"
 AVAILABILITY_FRESH_RESULT_FILE = "BENCH_availability.fresh.json"
+DURABILITY_BASELINE_FILE = RESULTS_DIR / "BENCH_durability.json"
+DURABILITY_FRESH_RESULT_FILE = "BENCH_durability.fresh.json"
 
 #: The row whose cells normalize every other row (re-measured each run).
 REFERENCE_ROW = "legacy"
@@ -98,6 +104,18 @@ AVAILABILITY_REQUIRED_CELLS = (
     ("all", "failovers"),
     ("all", "hedge_wins"),
     ("failover-window", "p99_vs_baseline"),
+)
+#: Same deal for durability: the gates are absolute (bounded WAL, zero
+#: wrong responses, bootstrap + repair non-vacuity — see bench_durability);
+#: the regression gate keeps the surface from silently vanishing.
+DURABILITY_REQUIRED_CELLS = (
+    ("all", "success_rate"),
+    ("all", "wrong"),
+    ("all", "wal_bound_ratio"),
+    ("all", "checkpoints"),
+    ("all", "bootstraps"),
+    ("all", "repairs"),
+    ("all", "unrepaired"),
 )
 
 
@@ -290,6 +308,12 @@ def main(argv: list[str] | None = None) -> int:
         default=AVAILABILITY_BASELINE_FILE,
         help="committed availability baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--durability-baseline",
+        type=pathlib.Path,
+        default=DURABILITY_BASELINE_FILE,
+        help="committed durability baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
 
     # Load the committed baselines BEFORE running anything: the fresh runs
@@ -317,6 +341,17 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"error: cannot load availability baseline "
             f"{args.availability_baseline}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        durability_baseline = load_rows(
+            json.loads(args.durability_baseline.read_text())
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        print(
+            f"error: cannot load durability baseline "
+            f"{args.durability_baseline}: {exc}",
             file=sys.stderr,
         )
         return 2
@@ -392,14 +427,40 @@ def main(argv: list[str] | None = None) -> int:
         availability_result, full=not args.smoke
     )
 
+    # ---------------------------------------------------- durability gate
+    durability_kwargs = bench_durability.SMOKE_KWARGS if args.smoke else {}
+    durability_result = bench_durability.run_durability_bench(
+        **durability_kwargs
+    )
+    print()
+    print(durability_result.format())
+    durability_path = bench_durability.write_results(
+        durability_result, DURABILITY_FRESH_RESULT_FILE
+    )
+    print(f"wrote fresh durability results to {durability_path}")
+    durability_fresh = load_rows(durability_result.to_dict())
+    for label, column in DURABILITY_REQUIRED_CELLS:
+        for origin, rows in (
+            ("baseline", durability_baseline),
+            ("fresh", durability_fresh),
+        ):
+            if rows.get(label, {}).get(column) is None:
+                failures.append(
+                    f"required cell {label}/{column} missing from "
+                    f"{origin} durability results"
+                )
+    failures += bench_durability.check_gates(
+        durability_result, full=not args.smoke
+    )
+
     if failures:
         print("\nREGRESSION:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(
-        "\nOK: no hot-path, serving or availability regression beyond "
-        "tolerance"
+        "\nOK: no hot-path, serving, availability or durability "
+        "regression beyond tolerance"
     )
     return 0
 

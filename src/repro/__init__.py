@@ -59,6 +59,7 @@ from repro.engine.columnstore import ColumnTable
 from repro.engine.table import Table
 from repro.errors import (
     BackpressureError,
+    BootstrapRequiredError,
     ChecksumError,
     DeadlineExceededError,
     NoHealthyReplicaError,
@@ -97,6 +98,7 @@ __all__ = [
     "MB",
     "BackpressureError",
     "ColumnTable",
+    "BootstrapRequiredError",
     "ChecksumError",
     "CpuMeter",
     "DeadlineExceededError",

@@ -15,6 +15,7 @@ from repro import obs
 from repro.bench.figures import (
     ablations,
     availability_chaos,
+    durability_churn,
     fig01_migration_tradeoff,
     fig03_tpch_inplace_rowstore,
     fig04_tpch_inplace_columnstore,
@@ -59,6 +60,7 @@ ALL_DRIVERS = {
         "figure-13": fig13_cpu_cost.run,
         "figure-14": fig14_tpch_replay.run,
         "availability-under-chaos": availability_chaos.run,
+        "durability-under-churn": durability_churn.run,
         "hdd-cache": hdd_cache.run,
         "latency-stability": latency_stability.run,
         "lsm-write-amplification": lsm_write_amplification.run,

@@ -43,7 +43,7 @@ from repro.core.update import (
     combine,
 )
 from repro.engine.table import Table
-from repro.errors import OutOfSpaceError, UpdateCacheFullError
+from repro.errors import OutOfSpaceError, StorageError, UpdateCacheFullError
 from repro.sim.hooks import interleave as sim_interleave
 from repro.storage.faults import crash_point
 from repro.storage.file import StorageVolume
@@ -183,6 +183,12 @@ MASM_STAT_FIELDS = (
     "quarantined_runs",
     "log_fallback_scans",
     "scrubs",
+    # Durability lifecycle: checkpoint fences cut, quarantined runs rebuilt
+    # in place from the redo log, and runs rebuilt from a healthy peer's
+    # copy (anti-entropy repair).
+    "checkpoints",
+    "runs_repaired",
+    "peer_repairs",
 )
 
 
@@ -250,6 +256,8 @@ class ScrubReport:
     damaged_blocks: dict[str, list[int]] = field(default_factory=dict)
     #: runs left quarantined by this pass (newly or previously damaged).
     quarantined: list[str] = field(default_factory=list)
+    #: runs rebuilt in place from the redo log, quarantine cleared.
+    repaired: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -261,8 +269,51 @@ class ScrubReport:
             "blocks_checked": self.blocks_checked,
             "damaged_blocks": dict(self.damaged_blocks),
             "quarantined": list(self.quarantined),
+            "repaired": list(self.repaired),
             "clean": self.clean,
         }
+
+
+@dataclass(frozen=True)
+class RunSnapshot:
+    """One run's verbatim content inside an :class:`EngineSnapshot`."""
+
+    name: str
+    payload: bytes
+    crc: int
+    count: int
+    passes: int
+    min_ts: int
+    max_ts: int
+    covered_min_ts: int
+    covered_max_ts: int
+    migrated_ranges: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A consistent, CRC-verified export of one engine's durable state.
+
+    Everything a brand-new (or wiped) replica needs to serve reads up to
+    ``snapshot_ts``: the heap pages (main data), the materialized runs with
+    their durability metadata, and the checkpoint manifest that seeds the
+    installing replica's fresh WAL.  Updates with ``ts > snapshot_ts`` are
+    deliberately absent — the installer catches them up from the primary's
+    (now finite) WAL.
+    """
+
+    table: str
+    snapshot_ts: int
+    migrated_ts: int
+    heap_pages: int
+    heap_payload: bytes
+    heap_crc: int
+    runs: tuple[RunSnapshot, ...]
+    checkpoint: "object"  # repro.txn.log.Checkpoint (lazy import cycle)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.heap_payload) + sum(len(r.payload) for r in self.runs)
 
 
 class MaSM:
@@ -324,6 +375,14 @@ class MaSM:
         #: Commit timestamp of the newest ingested update (freshness marker
         #: for lazily maintained views, Section 5).
         self.last_update_ts = 0
+        #: Every logged update with ``ts <= flushed_through`` is durable in a
+        #: materialized run (advanced at flush time from the raw span).
+        self.flushed_through = 0
+        #: Every update with ``ts <= migrated_through`` was migrated in place
+        #: (advanced only when a *full* migration retires all runs).
+        self.migrated_through = 0
+        #: Fence of the newest checkpoint cut by :meth:`checkpoint`.
+        self.last_checkpoint_ts = 0
         #: Overload governance (None = ungoverned legacy behaviour).
         governor_config = self.config.governor_config()
         self.governor: Optional[LoadGovernor] = (
@@ -486,6 +545,7 @@ class MaSM:
                 run = self._write_run(updates, passes=1)
                 run.covered_min_ts = raw_min_ts
                 run.covered_max_ts = raw_max_ts
+                self.flushed_through = max(self.flushed_through, raw_max_ts)
                 sim_interleave("masm.flush.run_written")
                 # The window a crash test cares most about: the run is
                 # durable on the SSD but its RUN_FLUSH record is not logged
@@ -784,6 +844,12 @@ class MaSM:
     def _fallback_for(self, run, begin_key, end_key, query_ts):
         if self.redo_log is None:
             return None
+        # A truncated log no longer holds the run's covered range: replay
+        # would silently return a partial stream.  Leave the scan without a
+        # fallback so damage surfaces as a typed ChecksumError — the router
+        # fails over to a healthy replica and schedules anti-entropy repair.
+        if self.redo_log.truncated_through >= run.covered_min_ts:
+            return None
 
         def fallback(after):
             return self._log_fallback(run, begin_key, end_key, query_ts, after)
@@ -848,13 +914,16 @@ class MaSM:
         return updates
 
     # ------------------------------------------------------------- scrubbing
-    def scrub(self) -> "ScrubReport":
+    def scrub(self, repair: bool = False) -> "ScrubReport":
         """Proactively checksum-verify every cached run (Section 3.6's
         durability, actively enforced).
 
         Damaged runs are quarantined so subsequent scans use the redo-log
         fallback immediately instead of discovering the damage mid-query.
-        Returns a report suitable for JSON export.
+        With ``repair=True``, a quarantined run the redo log still fully
+        covers is rebuilt in place from log replay and its quarantine
+        cleared — damage the log can heal is not permanent.  Returns a
+        report suitable for JSON export.
         """
         with self._lock:
             runs = list(self.runs)
@@ -866,13 +935,22 @@ class MaSM:
                 report.blocks_checked += run.num_blocks
                 if damaged:
                     report.damaged_blocks[run.name] = damaged
-                    report.quarantined.append(run.name)
                     if run.quarantine(
                         f"scrub found {len(damaged)} damaged block(s)"
                     ):
                         self.stats.quarantined_runs += 1
                         if self.block_cache is not None:
                             self.block_cache.invalidate_run(run.name)
+            if repair:
+                with self._lock:
+                    quarantined = [r for r in self.runs if r.quarantined]
+                for run in quarantined:
+                    if self._rebuild_run_from_log(run) is not None:
+                        report.repaired.append(run.name)
+            with self._lock:
+                report.quarantined = [
+                    r.name for r in self.runs if r.quarantined
+                ]
         self.stats.scrubs += 1
         registry = get_registry()
         registry.counter("masm.scrub.blocks_checked").add(report.blocks_checked)
@@ -880,6 +958,353 @@ class MaSM:
             sum(len(blocks) for blocks in report.damaged_blocks.values())
         )
         return report
+
+    def _log_covers(self, run: MaterializedSortedRun) -> bool:
+        """Can the redo log still replay the run's covered timestamp range?"""
+        return (
+            self.redo_log is not None
+            and self.redo_log.truncated_through < run.covered_min_ts
+        )
+
+    def _rebuild_run_from_log(
+        self, run: MaterializedSortedRun
+    ) -> Optional[MaterializedSortedRun]:
+        """Rebuild a quarantined run in place from redo-log replay.
+
+        Returns the fresh (un-quarantined) run, or None when the log no
+        longer covers the run's span — then only peer repair can help.
+        """
+        if not self._log_covers(run):
+            return None
+        updates = self._replay_run_updates(run)
+        if not updates:
+            return None
+        return self._swap_rebuilt_run(run, updates, source="log")
+
+    def _swap_rebuilt_run(
+        self,
+        run: MaterializedSortedRun,
+        updates: list[UpdateRecord],
+        source: str,
+    ) -> MaterializedSortedRun:
+        """Replace ``run``'s damaged SSD file with a fresh materialization
+        of ``updates``, preserving its identity (name, position, covered
+        span, migrated ranges, flush-epoch mapping)."""
+        with self._lock:
+            with trace("masm.repair_run", run=run.name, source=source):
+                if run.name in self.ssd:
+                    self.ssd.delete(run.name)
+                if self.block_cache is not None:
+                    self.block_cache.invalidate_run(run.name)
+                rebuilt = write_run(
+                    self.ssd,
+                    run.name,
+                    updates,
+                    self.codec,
+                    block_size=self.config.block_size,
+                    passes=run.passes,
+                )
+                rebuilt.covered_min_ts = run.covered_min_ts
+                rebuilt.covered_max_ts = run.covered_max_ts
+                rebuilt.migrated_ranges = list(run.migrated_ranges)
+                for i, existing in enumerate(self.runs):
+                    if existing is run:
+                        self.runs[i] = rebuilt
+                        break
+                self._runs_by_flush_epoch = {
+                    epoch: (rebuilt if kept is run else kept)
+                    for epoch, kept in self._runs_by_flush_epoch.items()
+                }
+                self.runs_version += 1
+                self.stats.runs_repaired += 1
+                if source == "peer":
+                    self.stats.peer_repairs += 1
+                get_registry().counter("masm.runs.repaired").add(1)
+                return rebuilt
+
+    def repair_run_from_peer(self, run_name: str, donor: "MaSM") -> bool:
+        """Anti-entropy repair: rebuild a quarantined run from a healthy
+        peer's content.
+
+        Identity is by *covered timestamp span*, not run name: replicas of
+        one shard ingest the same update stream but flush and merge
+        independently, so their run layouts may differ while their logical
+        content is identical.  The donor hands over every durable update in
+        the damaged run's span (checksum-verified on read, so corruption
+        cannot spread).  Returns True when the run was rebuilt.
+        """
+        with self._lock:
+            run = next((r for r in self.runs if r.name == run_name), None)
+        if run is None or not run.quarantined:
+            return False
+        updates = donor.updates_in_ts_span(
+            run.covered_min_ts, run.covered_max_ts
+        )
+        if not updates:
+            return False
+        self._swap_rebuilt_run(run, updates, source="peer")
+        return True
+
+    def updates_in_ts_span(self, min_ts: int, max_ts: int) -> list[UpdateRecord]:
+        """Every durable update with timestamp in ``[min_ts, max_ts]``.
+
+        The donor side of peer repair when run names do not line up: the
+        union of run contents (unfiltered by migrated ranges) and the
+        in-memory buffer, deduplicated by (timestamp, key) and (key, ts)-
+        sorted.  Raises on quarantined runs in range — a donor must be
+        healthy.
+        """
+        seen: set[tuple[int, int]] = set()
+        collected: list[UpdateRecord] = []
+        with self._lock:
+            runs = list(self.runs)
+            buffered = list(self.buffer._entries)
+        for run in runs:
+            if run.covered_max_ts < min_ts or run.covered_min_ts > max_ts:
+                continue
+            if run.quarantined:
+                raise StorageError(
+                    f"{self.name}: donor run {run.name!r} is quarantined"
+                )
+            for update in run.raw_records(min_ts, max_ts):
+                tag = (update.timestamp, update.key)
+                if tag not in seen:
+                    seen.add(tag)
+                    collected.append(update)
+        for update in buffered:
+            if min_ts <= update.timestamp <= max_ts:
+                tag = (update.timestamp, update.key)
+                if tag not in seen:
+                    seen.add(tag)
+                    collected.append(update)
+        collected.sort(key=UpdateRecord.sort_key)
+        return collected
+
+    # ----------------------------------------------------------- checkpoints
+    def _checkpoint_fence(self) -> int:
+        """The newest timestamp provably durable outside the WAL.
+
+        Everything at or below ``max(flushed_through, migrated_through)``
+        lives in a materialized run or was migrated in place; an
+        out-of-order straggler still in the buffer caps the fence below its
+        timestamp, because the buffer is volatile.
+        """
+        fence = max(self.flushed_through, self.migrated_through)
+        buffer_min = self.buffer.min_timestamp()
+        if buffer_min is not None:
+            fence = min(fence, buffer_min - 1)
+        return max(0, fence)
+
+    def _manifest(self, fence: int):
+        from repro.txn.log import Checkpoint, RunManifestEntry
+
+        return Checkpoint(
+            table=self.table.name,
+            checkpoint_ts=fence,
+            migrated_ts=min(self.migrated_through, fence),
+            runs=tuple(
+                RunManifestEntry(
+                    name=run.name,
+                    covered_min_ts=run.covered_min_ts,
+                    covered_max_ts=run.covered_max_ts,
+                    migrated_ranges=tuple(run.migrated_ranges),
+                )
+                for run in self.runs
+            ),
+        )
+
+    def checkpoint(self):
+        """Cut a :class:`~repro.txn.log.Checkpoint` fence, or None.
+
+        Returns None when no fence can safely be cut: no log attached,
+        nothing durable yet, a quarantined run (its log-fallback needs the
+        prefix), or graveyarded merge victims (truncating their RUN_MERGE
+        record while the victim files survive would double-apply every
+        merged update on the next recovery).
+        """
+        with self._lock:
+            if self.redo_log is None:
+                return None
+            if self._graveyard:
+                return None
+            if any(run.quarantined for run in self.runs):
+                return None
+            fence = self._checkpoint_fence()
+            if fence <= 0:
+                return None
+            return self._manifest(fence)
+
+    def checkpoint_and_truncate(self):
+        """Cut a checkpoint and reclaim the WAL prefix it fences off.
+
+        Returns ``(checkpoint, truncation_report)`` or None when no safe
+        fence exists.  The reclaimed region is zeroed lazily — callers pace
+        :meth:`~repro.txn.log.RedoLog.scrub_dirty` in the background.
+        """
+        with self._lock:
+            cp = self.checkpoint()
+            if cp is None:
+                return None
+            with trace("masm.checkpoint", fence=cp.checkpoint_ts):
+                report = self.redo_log.truncate_through(cp)
+            self.last_checkpoint_ts = cp.checkpoint_ts
+            self.stats.checkpoints += 1
+        registry = get_registry()
+        registry.gauge(f"{self.stats.scope}.wal_live_bytes").set(
+            self.redo_log.live_bytes
+        )
+        return cp, report
+
+    # -------------------------------------------------------------- snapshots
+    def export_snapshot(self) -> EngineSnapshot:
+        """Export a consistent, CRC-stamped copy of the durable state.
+
+        The fence is the same one :meth:`checkpoint` would cut: the heap
+        plus the runs hold every update with ``ts <= fence``, so a replica
+        that installs this snapshot only needs ``ts > fence`` from the
+        primary's WAL to catch up.  Raises when a run is quarantined — an
+        unhealthy replica must not donate.
+        """
+        from repro.storage.checksum import checksum as _crc
+
+        with self._lock:
+            quarantined = [r.name for r in self.runs if r.quarantined]
+            if quarantined:
+                raise StorageError(
+                    f"{self.name}: cannot export snapshot with quarantined "
+                    f"run(s) {quarantined}"
+                )
+            fence = self._checkpoint_fence()
+            heap = self.table.heap
+            heap_bytes = heap.num_pages * heap.page_size
+            heap_payload = (
+                heap.file.read(0, heap_bytes) if heap_bytes else b""
+            )
+            run_snaps = []
+            for run in self.runs:
+                payload = run.file.read(0, run.num_blocks * run.block_size)
+                run_snaps.append(
+                    RunSnapshot(
+                        name=run.name,
+                        payload=payload,
+                        crc=_crc(payload),
+                        count=run.count,
+                        passes=run.passes,
+                        min_ts=run.min_ts,
+                        max_ts=run.max_ts,
+                        covered_min_ts=run.covered_min_ts,
+                        covered_max_ts=run.covered_max_ts,
+                        migrated_ranges=tuple(run.migrated_ranges),
+                    )
+                )
+            snapshot = EngineSnapshot(
+                table=self.table.name,
+                snapshot_ts=fence,
+                migrated_ts=min(self.migrated_through, fence),
+                heap_pages=heap.num_pages,
+                heap_payload=heap_payload,
+                heap_crc=_crc(heap_payload),
+                runs=tuple(run_snaps),
+                checkpoint=self._manifest(fence),
+            )
+        get_registry().counter("masm.snapshots.exported").add(1)
+        return snapshot
+
+    @classmethod
+    def install_snapshot(
+        cls,
+        snapshot: EngineSnapshot,
+        table: Table,
+        ssd_volume: StorageVolume,
+        config: Optional[MaSMConfig] = None,
+        oracle: Optional[TimestampOracle] = None,
+        name: Optional[str] = None,
+    ):
+        """Install an exported snapshot into a brand-new engine.
+
+        ``table`` wraps an empty heap file of sufficient capacity;
+        ``ssd_volume`` must not hold conflicting run files.  Every payload
+        is CRC-verified before anything is written, run files are
+        re-verified block-by-block after landing, and the runs keep their
+        *source sequence numbers* under this engine's name so replicas of
+        one shard stay name-aligned (anti-entropy compares runs by name).
+
+        Returns ``(masm, checkpoint)`` — the checkpoint carries the
+        translated run names and seeds the installing replica's fresh WAL.
+        """
+        import re as _re
+
+        from repro.core.sortedrun import load_run
+        from repro.errors import ChecksumError
+        from repro.storage.checksum import checksum as _crc
+        from repro.txn.log import Checkpoint, RunManifestEntry
+
+        if _crc(snapshot.heap_payload) != snapshot.heap_crc:
+            raise ChecksumError("snapshot heap payload failed CRC verification")
+        for run_snap in snapshot.runs:
+            if _crc(run_snap.payload) != run_snap.crc:
+                raise ChecksumError(
+                    f"snapshot run {run_snap.name!r} failed CRC verification"
+                )
+
+        masm = cls(table, ssd_volume, config=config, oracle=oracle, name=name)
+        heap = table.heap
+        if snapshot.heap_payload:
+            heap.file.write(0, snapshot.heap_payload)
+        heap.num_pages = snapshot.heap_pages
+        # A wiped device may hold stale bytes past the installed prefix;
+        # zero the next page so the post-crash index rebuild (which scans
+        # until the first unparseable page) stops where the data does.
+        if heap.capacity_pages > snapshot.heap_pages:
+            heap.file.zero_range(
+                snapshot.heap_pages * heap.page_size, heap.page_size
+            )
+        from repro.txn.recovery import rebuild_table_index
+
+        rebuild_table_index(table)
+
+        seq_pattern = _re.compile(r"-run-(\d+)$")
+        entries = []
+        for run_snap in snapshot.runs:
+            match = seq_pattern.search(run_snap.name)
+            seq = int(match.group(1)) if match else masm._run_seq
+            new_name = f"{masm.name}-run-{seq:05d}"
+            masm._run_seq = max(masm._run_seq, seq + 1)
+            file = ssd_volume.create(new_name, len(run_snap.payload))
+            file.append(run_snap.payload)
+            run = load_run(
+                ssd_volume,
+                new_name,
+                masm.codec,
+                block_size=masm.config.block_size,
+                passes=run_snap.passes,
+            )
+            run.covered_min_ts = run_snap.covered_min_ts
+            run.covered_max_ts = run_snap.covered_max_ts
+            run.migrated_ranges = [tuple(r) for r in run_snap.migrated_ranges]
+            masm.runs.append(run)
+            entries.append(
+                RunManifestEntry(
+                    name=new_name,
+                    covered_min_ts=run_snap.covered_min_ts,
+                    covered_max_ts=run_snap.covered_max_ts,
+                    migrated_ranges=tuple(run_snap.migrated_ranges),
+                )
+            )
+        masm.runs_version += 1
+        masm.flushed_through = snapshot.snapshot_ts
+        masm.migrated_through = snapshot.migrated_ts
+        masm.last_update_ts = snapshot.snapshot_ts
+        masm.last_checkpoint_ts = snapshot.snapshot_ts
+        masm.oracle.advance_past(snapshot.snapshot_ts)
+        translated = Checkpoint(
+            table=table.name,
+            checkpoint_ts=snapshot.snapshot_ts,
+            migrated_ts=snapshot.migrated_ts,
+            runs=tuple(entries),
+        )
+        get_registry().counter("masm.snapshots.installed").add(1)
+        return masm, translated
 
     def _delete_run(self, run: MaterializedSortedRun) -> None:
         """Delete a run's SSD file and drop its decoded blocks.

@@ -92,6 +92,9 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
         if redo_log is not None:
             redo_log.log_migration_end(t)
         masm.retire_runs(runs, barrier_ts=t)
+        # Every durable (non-buffered) update with ts <= t is now applied in
+        # place; the checkpoint fence caps below any still-buffered update.
+        masm.migrated_through = max(masm.migrated_through, t)
         stats.runs_retired = len(runs)
     stats.publish("full")
     return stats
@@ -283,6 +286,7 @@ class CoordinatedMigration:
             if self.redo_log is not None:
                 self.redo_log.log_migration_end(t)
             masm.retire_runs(runs, barrier_ts=t)
+            masm.migrated_through = max(masm.migrated_through, t)
             stats.runs_retired = len(runs)
             masm.stats.migrations += 1
             if masm.governor is not None:

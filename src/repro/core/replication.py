@@ -24,9 +24,29 @@ explicit :meth:`crash_replica` calls):
   engine from the surviving durable state (the standard
   :func:`~repro.txn.recovery.recover_masm` crash-recovery path), then
   :meth:`catch_up` replays, from the *current primary's* redo log, exactly
-  the UPDATE records newer than the rejoiner's recovered watermark.  Redo
-  logs here are never truncated, so any replica that has been ONLINE since
-  the set was built holds the full update history.
+  the UPDATE records newer than the rejoiner's recovered watermark.
+
+Checkpointing bounds the WAL (:meth:`ReplicaSet.maintenance`): each ONLINE
+replica periodically cuts a :class:`~repro.txn.log.Checkpoint` — a fence
+``checkpoint_ts`` below which its flushed runs and migrated ranges are the
+durable home of every update — and compacts away the WAL prefix it covers,
+zeroing the reclaimed tail in governor-paced slices.  That makes redo logs
+*finite*, which introduces the one case incremental rejoin cannot handle: a
+replica whose recovered watermark predates the primary's truncation fence
+(or whose durable state was wiped entirely) raises
+:class:`~repro.errors.BootstrapRequiredError` and is instead rebuilt
+wholesale by :meth:`ReplicaSet.bootstrap_replica` — a CRC-verified engine
+snapshot (heap + runs + checkpoint manifest) exported from a healthy peer,
+installed over a fresh WAL, then caught up ``ts > snapshot_ts`` as usual.
+
+Anti-entropy (:meth:`ReplicaSet.anti_entropy`) closes the silent-corruption
+gap: each ONLINE replica checksum-verifies its runs; a damaged run is
+rebuilt from the replica's own redo log when the log still covers its span,
+otherwise from a healthy peer (the donor hands over the damaged run's raw
+timestamp span — run *layouts* diverge across replicas, run *contents* per
+span do not).  The serving router additionally schedules a targeted repair
+whenever a fan-out scan fails typed or hedged replicas disagree
+(read-repair).
 
 Watermark correctness: timestamps are drawn from one shared oracle, and a
 replica receives every update while ONLINE — so everything it missed has a
@@ -57,6 +77,7 @@ from repro.core.update import UpdateRecord, UpdateType
 from repro.engine.record import Schema
 from repro.engine.table import Table
 from repro.errors import (
+    BootstrapRequiredError,
     NoHealthyReplicaError,
     ReplicaUnavailableError,
     ReplicationError,
@@ -68,7 +89,11 @@ from repro.storage.faults import NodeFaultPlan
 from repro.txn.log import LogRecordType, RedoLog
 from repro.txn.recovery import recover_masm
 from repro.txn.timestamps import TimestampOracle
-from repro.util.units import MB
+from repro.util.units import KB, MB
+
+#: Default background-zeroing slice for reclaimed WAL space (scaled down by
+#: the replica's governor pacing fraction when foreground load is high).
+DEFAULT_SCRUB_SLICE = 256 * KB
 
 #: Rows between mid-scan fault-plan consultations: a node that crashes
 #: while a scan is draining fails the scan within one stride, not at the
@@ -80,6 +105,10 @@ class ReplicaState(enum.Enum):
     ONLINE = "online"
     CRASHED = "crashed"
     CATCHING_UP = "catching_up"
+    #: A snapshot install is in flight: the replica's durable state was lost
+    #: (or predates the primary's WAL truncation fence) and is being rebuilt
+    #: wholesale from a healthy peer's export.
+    BOOTSTRAPPING = "bootstrapping"
 
 
 @dataclass
@@ -92,6 +121,9 @@ class Replica:
     config: MaSMConfig
     state: ReplicaState = ReplicaState.ONLINE
     faults: Optional[NodeFaultPlan] = None
+    #: Durable state (runs + WAL) was destroyed; only a snapshot bootstrap
+    #: can bring this replica back.
+    wiped: bool = False
 
     @property
     def masm(self) -> MaSM:
@@ -135,6 +167,10 @@ class ReplicaSet:
         self._obs_follower_drops = registry.counter("replication.follower_drops")
         self._obs_catchup = registry.counter("replication.catchup_updates")
         self._obs_recoveries = registry.counter("replication.recoveries")
+        self._obs_checkpoints = registry.counter("replication.checkpoints")
+        self._obs_bootstraps = registry.counter("replication.bootstraps")
+        self._obs_repairs = registry.counter("replication.repairs")
+        self._obs_scrubs = registry.counter("replication.scrubs")
         self._online_gauge = registry.gauge(
             f"replication.shard.{shard_id}.online"
         )
@@ -375,6 +411,11 @@ class ReplicaSet:
             raise ReplicationError(
                 f"replica {replica.name} is {replica.state.value}, not crashed"
             )
+        if replica.wiped:
+            raise BootstrapRequiredError(
+                f"replica {replica.name} was wiped: no durable state to "
+                "recover; bootstrap from a healthy peer"
+            )
         old = replica.masm
         if old.redo_log is None:
             raise ReplicationError(
@@ -392,10 +433,23 @@ class ReplicaSet:
             oracle=self.oracle,
             name=old.name,
         )
+        if report.unrecoverable_gaps:
+            # Damaged runs whose content predates the checkpoint fence: the
+            # truncated log cannot rebuild them, so the local state is
+            # silently incomplete — serving from it would break the
+            # byte-identical invariant.  Stay CRASHED; bootstrap instead.
+            raise BootstrapRequiredError(
+                f"replica {replica.name}: recovery found "
+                f"{report.unrecoverable_gaps} timestamp gap(s) below the "
+                f"checkpoint fence {report.checkpoint_ts}; local rebuild is "
+                "impossible — bootstrap from a healthy peer"
+            )
         # Everything the replica durably ingested has ts <= this watermark;
         # everything it missed while down is strictly newer (one shared,
         # monotonic oracle).  catch_up() replays exactly ts > watermark.
-        recovered.last_update_ts = report.max_timestamp_seen
+        recovered.last_update_ts = max(
+            report.max_timestamp_seen, recovered.flushed_through
+        )
         node = replica.node
         replica.node = ShardNode(
             node.node_id, node.disk, node.ssd, bare, recovered, node.cpu
@@ -420,6 +474,17 @@ class ReplicaSet:
             )
         primary = self.primary
         if primary.state is not ReplicaState.ONLINE:
+            if not self.online_ids():
+                # Total outage, and this replica is the first one back:
+                # there is nobody to replay from, so its recovered local
+                # WAL *is* the authoritative state.  (Ships are synchronous
+                # to every online replica, so the last replica to crash —
+                # which is the one operators rejoin first — holds every
+                # acknowledged update.)  Promote it and resume service;
+                # later rejoiners catch up or bootstrap from it as usual.
+                self._set_state(replica, ReplicaState.ONLINE)
+                self.primary_id = replica_id
+                return 0
             raise NoHealthyReplicaError(
                 f"shard {self.shard_id}: no online primary to catch up from"
             )
@@ -430,6 +495,16 @@ class ReplicaSet:
             if source is None:
                 raise ReplicationError(
                     f"primary {primary.name} has no redo log to catch up from"
+                )
+            if source.truncated_through > watermark:
+                # The primary checkpointed and reclaimed WAL records the
+                # rejoiner still needs: incremental catch-up would silently
+                # skip them.  Only a snapshot bootstrap can close the gap.
+                self._set_state(replica, ReplicaState.CRASHED)
+                raise BootstrapRequiredError(
+                    f"replica {replica.name}: watermark {watermark} predates "
+                    f"the primary's WAL truncation fence "
+                    f"{source.truncated_through}; bootstrap required"
                 )
             with trace(
                 "replication.catch_up",
@@ -450,9 +525,229 @@ class ReplicaSet:
         return applied
 
     def rejoin(self, replica_id: int) -> int:
-        """Convenience: recover + catch up in one call."""
-        self.recover_replica(replica_id)
+        """Recover + catch up, falling back to a snapshot bootstrap.
+
+        The incremental path (local crash recovery, then WAL replay from
+        the primary) is tried first; when it is impossible — the replica
+        was wiped, its damaged runs predate the checkpoint fence, or its
+        watermark predates the primary's WAL truncation — the replica is
+        bootstrapped wholesale from a healthy peer instead.  Either way
+        the replica ends ONLINE with byte-identical content.
+        """
+        try:
+            self.recover_replica(replica_id)
+        except BootstrapRequiredError:
+            return self.bootstrap_replica(replica_id)
+        try:
+            return self.catch_up(replica_id)
+        except BootstrapRequiredError:
+            return self.bootstrap_replica(replica_id)
+
+    def wipe_replica(self, replica_id: int) -> None:
+        """Destroy a replica's durable state (runs *and* WAL).
+
+        Models total node loss — disk replacement, datacenter fire, a
+        provisioning bug.  The replica is crashed first (if it was not
+        already); afterwards only :meth:`bootstrap_replica` can revive it.
+        """
+        replica = self.replicas[replica_id]
+        if replica.state is not ReplicaState.CRASHED:
+            self._mark_crashed(replica)
+        ssd_volume = replica.masm.ssd
+        for file_name in list(ssd_volume):
+            ssd_volume.delete(file_name)
+        # Total loss includes the base data: zero the heap's logical extent
+        # so nothing of the old contents can leak into a later bootstrap.
+        heap = replica.table.heap
+        if heap.num_pages:
+            heap.file.zero_range(0, heap.num_pages * heap.page_size)
+        heap.truncate(0)
+        replica.wiped = True
+        get_registry().counter("replication.wipes").add(1)
+
+    def bootstrap_replica(
+        self, replica_id: int, source_id: Optional[int] = None
+    ) -> int:
+        """Rebuild a replica wholesale from a healthy peer's snapshot.
+
+        Exports a consistent engine snapshot (heap + runs + checkpoint
+        manifest, CRC-verified end to end) from ``source_id`` (default: the
+        primary), installs it into the target over a fresh WAL seeded with
+        the translated checkpoint, then catches up ``ts > snapshot_ts``
+        from the primary's (finite) WAL.  Returns the number of catch-up
+        updates applied.
+        """
+        replica = self.replicas[replica_id]
+        if replica.state not in (ReplicaState.CRASHED, ReplicaState.ONLINE):
+            raise ReplicationError(
+                f"replica {replica.name} is {replica.state.value}; cannot "
+                "bootstrap"
+            )
+        if replica.state is ReplicaState.ONLINE:
+            self._mark_crashed(replica)
+        if source_id is None:
+            source_id = (
+                self.primary_id
+                if self.primary.state is ReplicaState.ONLINE
+                else next(iter(self.online_ids()), None)
+            )
+        if source_id is None or source_id == replica_id:
+            raise NoHealthyReplicaError(
+                f"shard {self.shard_id}: no healthy peer to bootstrap "
+                f"replica {replica_id} from"
+            )
+        source = self.replicas[source_id]
+        self._guard(source)
+        self._set_state(replica, ReplicaState.BOOTSTRAPPING)
+        with trace(
+            "replication.bootstrap",
+            shard=self.shard_id,
+            replica=replica_id,
+            source=source_id,
+        ):
+            snapshot = source.masm.export_snapshot()
+            old = replica.masm
+            wal_name = (
+                old.redo_log.file.name
+                if old.redo_log is not None
+                else f"wal-{self.shard_id}r{replica_id}"
+            )
+            ssd_volume = old.ssd
+            for file_name in list(ssd_volume):
+                ssd_volume.delete(file_name)
+            bare = Table(old.table.name, old.table.schema, old.table.heap)
+            fresh_log = RedoLog(
+                ssd_volume.create(
+                    wal_name, ssd_volume.device.capacity // 4
+                )
+            )
+            installed, translated = MaSM.install_snapshot(
+                snapshot,
+                bare,
+                ssd_volume,
+                config=replica.config,
+                oracle=self.oracle,
+                name=old.name,
+            )
+            installed.attach_log(fresh_log)
+            fresh_log.log_checkpoint(translated)
+            # The fresh WAL genuinely lacks everything below the snapshot
+            # fence — mark it so log-fallback/coverage checks stay honest.
+            fresh_log.truncated_through = snapshot.snapshot_ts
+            installed.last_checkpoint_ts = snapshot.snapshot_ts
+            node = replica.node
+            replica.node = ShardNode(
+                node.node_id, node.disk, node.ssd, bare, installed, node.cpu
+            )
+            replica.wiped = False
+            if replica.faults is not None:
+                replica.faults.recover()
+            self._set_state(replica, ReplicaState.CATCHING_UP)
+            self._obs_bootstraps.add(1)
+            self._obs_recoveries.add(1)
         return self.catch_up(replica_id)
+
+    # ---------------------------------------------------------- housekeeping
+    def maintenance(
+        self,
+        wal_budget_bytes: Optional[int] = None,
+        scrub_slice: int = DEFAULT_SCRUB_SLICE,
+        force_checkpoint: bool = False,
+    ) -> dict:
+        """One background housekeeping tick per ONLINE replica.
+
+        Cuts a checkpoint (and truncates the WAL behind it) on any replica
+        whose live WAL exceeds ``wal_budget_bytes`` (default: half the WAL
+        file), zeroes one paced slice of previously reclaimed space, and
+        refreshes the per-replica gauges (``replication.shard.S.rR.*``).
+        The zeroing slice is scaled by the replica's governor pacing
+        fraction, so reclaim I/O backs off exactly like migration I/O does
+        when foreground latency climbs.
+        """
+        registry = get_registry()
+        report: dict = {}
+        for replica in self.replicas:
+            wal = replica.wal
+            entry = {"state": replica.state.value}
+            if wal is not None and not replica.wiped:
+                if (
+                    replica.state is ReplicaState.ONLINE
+                ):
+                    budget = (
+                        wal_budget_bytes
+                        if wal_budget_bytes is not None
+                        else wal.file.size // 2
+                    )
+                    if force_checkpoint or wal.live_bytes >= budget:
+                        result = replica.masm.checkpoint_and_truncate()
+                        if result is not None:
+                            cp, trunc = result
+                            entry["checkpoint_ts"] = cp.checkpoint_ts
+                            entry["reclaimed_bytes"] = trunc.reclaimed_bytes
+                            self._obs_checkpoints.add(1)
+                    slice_bytes = scrub_slice
+                    governor = replica.masm.governor
+                    if governor is not None:
+                        slice_bytes = max(
+                            4 * KB,
+                            int(scrub_slice * governor.pacer.fraction),
+                        )
+                    entry["zeroed_bytes"] = wal.scrub_dirty(slice_bytes)
+                entry["wal_bytes"] = wal.live_bytes
+                entry["checkpoint_age"] = max(
+                    0,
+                    replica.masm.last_update_ts
+                    - replica.masm.last_checkpoint_ts,
+                )
+                prefix = (
+                    f"replication.shard.{self.shard_id}.r{replica.replica_id}"
+                )
+                registry.gauge(f"{prefix}.wal_bytes").set(wal.live_bytes)
+                registry.gauge(f"{prefix}.checkpoint_age").set(
+                    entry["checkpoint_age"]
+                )
+            report[replica.name] = entry
+        return report
+
+    def anti_entropy(self) -> dict:
+        """One scrub-and-repair pass over every ONLINE replica.
+
+        Each replica checksum-verifies its runs; damage is repaired from
+        the replica's own redo log when the log still covers it, otherwise
+        by fetching the damaged run's timestamp span from a healthy peer.
+        Runs that stay quarantined (no covering log, no healthy peer) are
+        reported so the operator can bootstrap the replica.
+        """
+        online = [
+            r for r in self.replicas if r.state is ReplicaState.ONLINE
+        ]
+        repaired: list[tuple[str, str]] = []
+        unrepaired: list[tuple[str, str]] = []
+        for replica in online:
+            report = replica.masm.scrub(repair=True)
+            self._obs_scrubs.add(1)
+            for run_name in report.repaired:
+                repaired.append((replica.name, run_name))
+                self._obs_repairs.add(1)
+            for run_name in report.quarantined:
+                fixed = False
+                for donor in online:
+                    if donor is replica:
+                        continue
+                    try:
+                        fixed = replica.masm.repair_run_from_peer(
+                            run_name, donor.masm
+                        )
+                    except ReproError:
+                        continue
+                    if fixed:
+                        break
+                if fixed:
+                    repaired.append((replica.name, run_name))
+                    self._obs_repairs.add(1)
+                else:
+                    unrepaired.append((replica.name, run_name))
+        return {"repaired": repaired, "unrepaired": unrepaired}
 
 
 class ReplicatedWarehouse:
@@ -581,9 +876,22 @@ class ReplicatedWarehouse:
         )
 
     def shard_route_ids(self, shard_id: int) -> tuple[int, list[int]]:
-        """(primary id, all replica ids) — the executor's routing input."""
+        """(primary id, schedulable replica ids) — the executor's routing.
+
+        Only ONLINE replicas are offered to the fan-out executor: a
+        BOOTSTRAPPING or CATCHING_UP replica would fail the scan's guard
+        anyway, and offering it just burns a hedge attempt.  When nothing
+        is ONLINE the full roster is returned so the executor surfaces
+        :class:`NoHealthyReplicaError` through its normal typed path.
+        """
         shard = self.shards[shard_id]
-        return shard.primary_id, shard.replica_ids()
+        online = shard.online_ids()
+        if not online:
+            return shard.primary_id, shard.replica_ids()
+        primary = (
+            shard.primary_id if shard.primary_id in online else online[0]
+        )
+        return primary, online
 
     def partitioned_range_scan(
         self,
@@ -619,6 +927,45 @@ class ReplicatedWarehouse:
 
     def rejoin_replica(self, shard_id: int, replica_id: int) -> int:
         return self.shards[shard_id].rejoin(replica_id)
+
+    def wipe_replica(self, shard_id: int, replica_id: int) -> None:
+        self.shards[shard_id].wipe_replica(replica_id)
+
+    def bootstrap_replica(
+        self,
+        shard_id: int,
+        replica_id: int,
+        source_id: Optional[int] = None,
+    ) -> int:
+        return self.shards[shard_id].bootstrap_replica(
+            replica_id, source_id=source_id
+        )
+
+    # ----------------------------------------------------------- background
+    def maintenance(self, **kwargs) -> Dict[str, dict]:
+        """One checkpoint/truncate/zeroing tick across every shard."""
+        report: Dict[str, dict] = {}
+        for shard in self.shards:
+            report.update(shard.maintenance(**kwargs))
+        return report
+
+    def anti_entropy(self) -> Dict[int, dict]:
+        """One scrub-and-peer-repair pass across every shard."""
+        return {
+            shard.shard_id: shard.anti_entropy() for shard in self.shards
+        }
+
+    def run_repairs(self, queue) -> list[dict]:
+        """Drain a :class:`~repro.server.health.RepairQueue`.
+
+        Each entry names a shard whose fan-out observed a failed or
+        divergent replica scan; one anti-entropy pass per distinct shard
+        repairs whatever the divergence was symptomatic of.
+        """
+        results: list[dict] = []
+        for shard_id in queue.drain():
+            results.append(self.shards[shard_id].anti_entropy())
+        return results
 
     # --------------------------------------------------------------- balance
     def flush_all(self) -> None:

@@ -400,6 +400,46 @@ class MaterializedSortedRun:
                 continue
             yield update
 
+    def raw_records(
+        self,
+        min_ts: Optional[int] = None,
+        max_ts: Optional[int] = None,
+    ) -> Iterator[UpdateRecord]:
+        """Every record in the run, filtered only by timestamp span.
+
+        Unlike :meth:`scan`, migrated ranges are *not* filtered: this is the
+        donor side of peer repair, which must hand over the run's complete
+        durable content — the receiver keeps its own migrated-range
+        bookkeeping.  Blocks are checksum-verified, so a damaged donor run
+        raises instead of spreading corruption.
+        """
+        for block in range(self.num_blocks):
+            data = self.file.read(block * self.block_size, self.block_size)
+            _checksum.verify(data, context=f"run {self.name!r} block {block}")
+            (count,) = _BLOCK_HEADER.unpack_from(data, 0)
+            offset = _BLOCK_HEADER.size
+            for _ in range(count):
+                update, offset = self.codec.decode(data, offset)
+                if min_ts is not None and update.timestamp < min_ts:
+                    continue
+                if max_ts is not None and update.timestamp > max_ts:
+                    continue
+                yield update
+
+    def block_digests(self) -> list[int]:
+        """Per-block CRC digests for cross-replica anti-entropy comparison.
+
+        Reads are uncharged (:meth:`SimFile.peek`) — digesting is a
+        comparison aid, not data-path I/O — and blocks are *not* verified:
+        a damaged block must still produce its (wrong) digest so peers can
+        detect the divergence.
+        """
+        digests: list[int] = []
+        for block in range(self.num_blocks):
+            data = self.file.peek(block * self.block_size, self.block_size)
+            digests.append(_checksum.checksum(data))
+        return digests
+
     # ------------------------------------------------------------- migration
     def mark_migrated(self, begin_key: int, end_key: int) -> None:
         """Record that updates with keys in [begin, end] were migrated.

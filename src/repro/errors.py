@@ -121,7 +121,23 @@ class NoHealthyReplicaError(ReplicationError):
     """Every replica of a shard was crashed or circuit-broken.
 
     Raised when a scan (or write) cannot find any replica to serve it —
-    the shard is fully unavailable until a replica recovers.
+    the shard is fully unavailable until a replica recovers.  *Retryable*:
+    the failure holds no snapshot and did no partial work, and the shard
+    comes back the moment any replica finishes recovery or a snapshot
+    bootstrap, so a well-behaved client backs off and retries.
+    """
+
+    retryable = True
+
+
+class BootstrapRequiredError(ReplicationError):
+    """A crashed replica's durable state cannot be caught up incrementally.
+
+    Raised when the rejoin path discovers a gap that incremental catch-up
+    cannot close: the replica's watermark predates the primary's WAL
+    truncation fence, its own WAL was wiped, or recovery found damaged runs
+    the (truncated) log no longer covers.  The remedy is a full
+    snapshot-based bootstrap from a healthy peer.
     """
 
 

@@ -19,6 +19,7 @@ from repro.server.health import (
     FleetHealth,
     HedgePolicy,
     LatencyTracker,
+    RepairQueue,
     ReplicaHealth,
 )
 from repro.server.quotas import QuotaPolicy, TenantAdmission, TenantQuota
@@ -58,6 +59,7 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "QuotaPolicy",
+    "RepairQueue",
     "ReplicaHealth",
     "ReplicatedBackend",
     "RequestRouter",

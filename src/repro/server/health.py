@@ -270,3 +270,45 @@ class FleetHealth:
                 "samples": health.tracker.samples,
             }
         return out
+
+
+class RepairQueue:
+    """Deduplicated read-repair intents, one slot per shard.
+
+    The fan-out executor *observes* symptoms of replica damage — a typed
+    scan failure, or a hedged backup whose rows disagree with the
+    primary's — but repairing mid-request would blow the request deadline.
+    So it drops a shard id here and a background tick later drains the
+    queue through
+    :meth:`~repro.core.replication.ReplicatedWarehouse.run_repairs`
+    (one anti-entropy pass per distinct shard).  Scheduling the same shard
+    twice before a drain is a no-op: anti-entropy is idempotent and one
+    pass repairs every damaged run on the shard.
+    """
+
+    def __init__(self, scope: str = "server") -> None:
+        self._pending: dict[int, str] = {}
+        self._obs_scheduled = get_registry().counter(
+            f"{scope}.repairs.scheduled"
+        )
+
+    def schedule(self, shard_id: int, reason: str) -> bool:
+        """Queue a repair for ``shard_id``; False when already queued."""
+        if shard_id in self._pending:
+            return False
+        self._pending[shard_id] = reason
+        self._obs_scheduled.add(1)
+        return True
+
+    def drain(self) -> list[int]:
+        """Pop every queued shard id (oldest first)."""
+        shard_ids = list(self._pending)
+        self._pending.clear()
+        return shard_ids
+
+    def pending(self) -> Dict[int, str]:
+        """Queued shard → reason, without consuming the queue."""
+        return dict(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)

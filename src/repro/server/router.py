@@ -233,6 +233,7 @@ class ReplicatedBackend:
         health=None,
         blocks_per_partition: Optional[int] = None,
         scope: str = "server",
+        repair_queue=None,
     ) -> None:
         from repro.server.health import FleetHealth
 
@@ -242,6 +243,11 @@ class ReplicatedBackend:
             self.clock, scope=scope
         )
         self.blocks_per_partition = blocks_per_partition
+        #: Optional :class:`~repro.server.health.RepairQueue`: typed scan
+        #: failures and hedge-detected divergence drop a repair intent here
+        #: instead of repairing inline (read-repair must not blow the
+        #: request deadline).
+        self.repair_queue = repair_queue
         registry = get_registry()
         self._obs_hedges = registry.counter(f"{scope}.hedges")
         self._obs_hedge_wins = registry.counter(f"{scope}.hedge_wins")
@@ -249,6 +255,11 @@ class ReplicatedBackend:
         self._obs_cancelled = registry.counter(f"{scope}.hedged_cancelled")
         self._obs_failovers = registry.counter(f"{scope}.read_failovers")
         self._obs_unavailable = registry.counter(f"{scope}.shard_unavailable")
+        self._obs_divergence = registry.counter(f"{scope}.read_divergence")
+
+    def _schedule_repair(self, shard_id: int, reason: str) -> None:
+        if self.repair_queue is not None:
+            self.repair_queue.schedule(shard_id, reason)
 
     def snapshot_ts(self) -> int:
         return self.warehouse.oracle.next()
@@ -392,10 +403,17 @@ class ReplicatedBackend:
                     if backup_rows is not None:
                         # Backup won: cancel the primary drain (abandon its
                         # stream — same snapshot, interchangeable answers).
+                        # Interchangeable means the abandoned prefix must be
+                        # a prefix of the winner; disagreement is evidence
+                        # of replica damage → schedule a read-repair.
+                        if rows != backup_rows[: len(rows)]:
+                            self._obs_divergence.add(1)
+                            self._schedule_repair(shard_id, "hedge-divergence")
                         self._obs_cancelled.add(1)
                         return backup_rows
         except (StorageError, ReplicationError):
             health.failure()
+            self._schedule_repair(shard_id, "scan-failure")
             return None
         except DeadlineExceededError:
             # Overruns count against the breaker too: a replica that keeps
@@ -438,6 +456,7 @@ class ReplicatedBackend:
                     deadline.check()
         except (StorageError, ReplicationError):
             backup.failure()
+            self._schedule_repair(shard_id, "hedge-scan-failure")
             outcome.hedge_losses += 1
             self._obs_hedge_losses.add(1)
             return None

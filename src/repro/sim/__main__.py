@@ -55,6 +55,15 @@ SCENARIOS = {
         replicators=1,
         replica_ops=30,
     ),
+    # Durability churn: a 3-way replica set driven through checkpointed
+    # WAL truncation, total replica wipes revived by snapshot bootstrap,
+    # rejoins that must cross the truncation fence, and silent bit-flips
+    # chased by anti-entropy peer repair — every read model-checked.
+    "durability": lambda: replace(
+        SimConfig.canonical(),
+        durability_actors=1,
+        durability_ops=30,
+    ),
 }
 
 

@@ -370,3 +370,148 @@ def replicator(env, name: str, seed: int, ops: int, replication: int = 3):
     for replica_id in rset.online_ids():
         check_scan(replica_id, "final")
     yield
+
+
+def durability(env, name: str, seed: int, ops: int, replication: int = 3):
+    """Drive a replica set through the full durability lifecycle.
+
+    Everything :func:`replicator` does, plus the churn that makes WALs
+    finite and disks lie: forced checkpoints that truncate the primaries'
+    logs (so rejoins routinely cross the truncation fence and must
+    bootstrap from a snapshot), total replica wipes, and silently flipped
+    run bytes immediately chased by an anti-entropy pass that must repair
+    them from the log or a peer.  Every read pins a snapshot and must
+    match the model byte-for-byte; the final drain rejoins everyone,
+    repairs everything, and requires all replicas to answer identically.
+    """
+    from repro.core.replication import ReplicaSet, ReplicaState
+    from repro.sim.model import ModelTable
+    from repro.storage.clock import SimClock
+    from repro.txn.timestamps import TimestampOracle
+
+    rng = random.Random(f"{seed}:{name}")
+    oracle = TimestampOracle()
+    rows = max(env.config.rows // 2, 8)
+    stride = env.config.key_stride
+    universe = rows * stride
+    rset = ReplicaSet.build(
+        0,
+        env.schema,
+        oracle,
+        SimClock(),
+        replication,
+        records_per_node=rows * 4,
+        masm_config=env.masm_config,
+    )
+    base = [(i * stride, f"{name}-base{i}") for i in range(rows)]
+    for replica in rset.replicas:
+        replica.table.bulk_load(base)
+    model = ModelTable(env.schema, base)
+    crashed: list[int] = []
+
+    def check_scan(replica_id: int, context: str) -> None:
+        query_ts = oracle.next()
+        expected = model.snapshot_records(query_ts, 0, universe)
+        got = list(rset.scan(0, universe, query_ts, replica_id=replica_id))
+        if got != expected:
+            want = {env.schema.key(r): r for r in expected}
+            have = {env.schema.key(r): r for r in got}
+            raise AssertionError(
+                f"{name}: {context} read on replica {replica_id} at "
+                f"ts={query_ts} diverged from model: "
+                f"{diff_states(want, have)}"
+            )
+
+    def apply_one(i: int) -> bool:
+        state = model.snapshot(2**62)
+        live = sorted(state)
+        free = [k for k in range(universe) if k not in state]
+        sub = rng.random()
+        ts = oracle.next()
+        if (sub < 0.4 or not live) and free:
+            key = rng.choice(free)
+            update = UpdateRecord(
+                ts, key, UpdateType.INSERT, (key, f"{name}-i{i}")
+            )
+        elif sub < 0.6 and live:
+            update = UpdateRecord(
+                ts, rng.choice(live), UpdateType.DELETE, None
+            )
+        elif live:
+            update = UpdateRecord(
+                ts, rng.choice(live), UpdateType.MODIFY,
+                {"payload": f"{name}-m{i}"},
+            )
+        else:  # key space exhausted this step
+            return False
+        rset.apply(update)
+        model.record(update)
+        return True
+
+    for i in range(ops):
+        roll = rng.random()
+        online = rset.online_ids()
+        if roll < 0.40:
+            apply_one(i)
+        elif roll < 0.50 and len(online) > 1:
+            victim = rng.choice(online)
+            rset.crash_replica(victim)
+            crashed.append(victim)
+        elif roll < 0.58 and crashed:
+            # rejoin() transparently bootstraps when the rejoiner was
+            # wiped or the primary truncated past its watermark.
+            rejoiner = crashed.pop(0)
+            yield
+            rset.rejoin(rejoiner)
+            check_scan(rejoiner, "post-rejoin")
+        elif roll < 0.66 and len(online) > 1:
+            # Total node loss: runs, WAL and heap all destroyed.
+            victim = rng.choice(online)
+            rset.wipe_replica(victim)
+            crashed.append(victim)
+        elif roll < 0.76:
+            # Checkpoint + WAL truncation on every ONLINE replica (flush
+            # first so the fence can advance past recent updates), plus
+            # one paced slice of background zeroing.
+            for replica in rset.replicas:
+                if replica.state is ReplicaState.ONLINE:
+                    replica.masm.flush_buffer()
+            rset.maintenance(force_checkpoint=True)
+        elif roll < 0.86 and len(online) > 1:
+            # Silent corruption: flip one run byte on one replica, then
+            # run anti-entropy — the damage must be repaired from the
+            # replica's own log or a healthy peer, never served.
+            victim = rset.replicas[rng.choice(online)]
+            runs = victim.masm.runs
+            if runs:
+                run = rng.choice(runs)
+                offset = rng.randrange(run.num_blocks * run.block_size)
+                byte = run.file.read(offset, 1)[0]
+                run.file.write(offset, bytes([byte ^ (1 << rng.randrange(8))]))
+                victim.masm.block_cache.invalidate_run(run.name)
+                yield
+                report = rset.anti_entropy()
+                if report["unrepaired"]:
+                    raise AssertionError(
+                        f"{name}: anti-entropy left damage unrepaired: "
+                        f"{report['unrepaired']}"
+                    )
+                check_scan(victim.replica_id, "post-repair")
+        elif online:
+            check_scan(rng.choice(online), "steady-state")
+        yield
+
+    # Drain: everyone back (bootstrapping where needed), everything
+    # repaired, every replica byte-identical.
+    while crashed:
+        rset.rejoin(crashed.pop(0))
+        yield
+    report = rset.anti_entropy()
+    if report["unrepaired"]:
+        raise AssertionError(
+            f"{name}: final anti-entropy left damage: {report['unrepaired']}"
+        )
+    rset.maintenance(force_checkpoint=True)
+    for replica_id in rset.online_ids():
+        check_scan(replica_id, "final")
+    yield

@@ -53,6 +53,10 @@ class SimConfig:
     servers: int = 0
     #: Replica-set chaos drivers (see :func:`repro.sim.actors.replicator`).
     replicators: int = 0
+    #: Durability-churn drivers: checkpoint/truncate, wipe + snapshot
+    #: bootstrap, bit-flip + anti-entropy (see
+    #: :func:`repro.sim.actors.durability`).
+    durability_actors: int = 0
     update_ops: int = 40
     scans: int = 3
     scan_batch: int = 16
@@ -62,6 +66,7 @@ class SimConfig:
     txns: int = 3
     serve_requests: int = 8
     replica_ops: int = 24
+    durability_ops: int = 30
     #: Run-index blocks per kernel merge partition (None = library default).
     #: The ``kernels`` scenario sets this tiny so even the simulation's
     #: small runs split into several partitions, exercising the partition
@@ -285,6 +290,11 @@ def build_actor_factories(
         "replicator",
         config.replicators,
         lambda n: actors.replicator(env, n, seed, config.replica_ops),
+    )
+    add(
+        "durability",
+        config.durability_actors,
+        lambda n: actors.durability(env, n, seed, config.durability_ops),
     )
     return factories
 

@@ -91,6 +91,33 @@ class SimFile:
             )
         self._append_pos = pos
 
+    def zero_range(self, offset: int, size: int, chunk: int = 256 * 1024) -> int:
+        """Overwrite ``[offset, offset + size)`` with zeroes; returns ``size``.
+
+        The reclaim primitive behind WAL prefix truncation: a log that
+        compacted its live tail to the front of the file zeroes the stale
+        remainder so a post-crash scan (which reads until the first invalid
+        frame) cannot resurrect pre-truncation records.  Writes are chunked
+        so callers can account (and pace) the reclaim like any other I/O.
+
+        Does **not** move the append cursor: the caller decides where the
+        live content now ends (:meth:`seek_append`), and zeroing stale space
+        beyond it must not push the cursor back out.
+        """
+        self._check(offset, size)
+        saved = self._append_pos
+        written = 0
+        while written < size:
+            step = min(chunk, size - written)
+            self._retry(
+                lambda o=offset + written, n=step: self.device.write(
+                    self.offset + o, bytes(n)
+                )
+            )
+            written += step
+        self._append_pos = saved
+        return size
+
     def read_batch(self, requests: list[tuple[int, int]]) -> list[bytes]:
         """Batched (asynchronously overlapped) reads, where supported."""
         for offset, size in requests:

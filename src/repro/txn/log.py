@@ -13,6 +13,12 @@ The log therefore carries these record kinds:
   ``run_name``; written *before* the product run is materialized, so the
   product file's intact existence is the merge's commit point and recovery
   can discard superseded victim files a crash left behind.
+* ``CHECKPOINT``      — a durability fence (:class:`Checkpoint`): every
+  update with ``ts <= checkpoint_ts`` is durable in the manifest's runs or
+  migrated in place, so the log prefix holding those records is dead weight
+  and :meth:`RedoLog.truncate_through` may reclaim it.  Recovery seeds its
+  flushed/migrated watermarks and the manifest runs' covered-ts spans from
+  the newest CHECKPOINT instead of from the (now absent) prefix records.
 
 Records are length-prefixed, CRC-protected and appended sequentially; the
 log is itself a file on a simulated device, so logging I/O is accounted like
@@ -20,6 +26,14 @@ everything else.  The per-record CRC (covering the type byte and payload)
 lets recovery distinguish a torn tail — the last record lost to a crash
 mid-append, which is expected and safely skipped — from corruption earlier
 in the log, which is not.
+
+Truncation is compaction: the surviving suffix (records newer than the
+fence) is rewritten to the front of the file behind a fresh CHECKPOINT
+record, the append cursor drops back, and the stale remainder is zeroed
+*lazily* in paced slices (:meth:`RedoLog.scrub_dirty`) so reclaiming a
+large prefix never stalls a foreground update.  Until a stale byte is
+zeroed it can only hold pre-fence frames, which post-truncation recovery
+filters by timestamp anyway — laziness trades no correctness.
 """
 
 from __future__ import annotations
@@ -45,6 +59,52 @@ class LogRecordType(IntEnum):
     MIGRATION_START = 3
     MIGRATION_END = 4
     RUN_MERGE = 5
+    CHECKPOINT = 6
+
+
+@dataclass(frozen=True)
+class RunManifestEntry:
+    """One run's durability metadata inside a :class:`Checkpoint`.
+
+    The covered timestamp span is the *raw* span the run is the durable
+    home of (content-derived spans may be narrower after duplicate
+    combining); the migrated ranges are the key spans already applied in
+    place, which are volatile and must survive truncation of the
+    MIGRATION records that created them.
+    """
+
+    name: str
+    covered_min_ts: int
+    covered_max_ts: int
+    migrated_ranges: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An engine-state fence: proof that a WAL prefix is reclaimable.
+
+    Every update of ``table`` with ``ts <= checkpoint_ts`` is durable in
+    one of the manifest's runs or was migrated in place (``ts <=
+    migrated_ts``).  Log records at or below the fence therefore carry no
+    information recovery still needs — *provided* this record survives to
+    seed the watermarks those records used to establish.
+    """
+
+    table: str
+    checkpoint_ts: int
+    migrated_ts: int
+    runs: tuple[RunManifestEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class TruncationReport:
+    """What one :meth:`RedoLog.truncate_through` call did."""
+
+    reclaimed_bytes: int
+    records_dropped: int
+    records_kept: int
+    live_bytes: int
+    dirty_bytes: int
 
 
 @dataclass(frozen=True)
@@ -62,6 +122,8 @@ class LogRecord:
     #: victims' spans).  Restored on recovery because the reloaded span is
     #: derived from content, which combine may have narrowed.
     covered_ts: Optional[tuple[int, int]] = None
+    #: CHECKPOINT only: the full decoded fence + run manifest.
+    checkpoint: Optional[Checkpoint] = None
 
 
 def _pack_str(text: str) -> bytes:
@@ -83,9 +145,29 @@ class RedoLog:
         #: table name -> codec, needed to decode UPDATE payloads on replay.
         self.codecs = dict(codecs or {})
         self.records_written = 0
+        #: Newest checkpoint fence this log was truncated through: records
+        #: with ``ts <= truncated_through`` are gone, so any path that
+        #: replays a timestamp range from this log (log-fallback scans,
+        #: catch-up) must first check its range starts *above* this.
+        self.truncated_through = 0
+        #: Stale byte span left behind by truncation, zeroed lazily in
+        #: paced slices; ``[start, end)`` in file offsets, None when clean.
+        self._dirty_start = 0
+        self._dirty_end = 0
         registry = get_registry()
         self._obs_records = registry.counter("txn.log.records_written")
         self._obs_bytes = registry.counter("txn.log.bytes_written")
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes of live (non-reclaimed) log content."""
+        return self.file.append_pos
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Stale post-truncation bytes not yet zeroed by :meth:`scrub_dirty`."""
+        start = max(self._dirty_start, self.file.append_pos)
+        return max(0, self._dirty_end - start)
 
     def register_table(self, name: str, codec: UpdateCodec) -> None:
         self.codecs[name] = codec
@@ -96,9 +178,25 @@ class RedoLog:
         frame = _FRAME.pack(len(payload), int(rtype), crc) + payload
         crash_point("wal.append")
         self.file.append(frame)
+        self._zero_guard()
         self.records_written += 1
         self._obs_records.add(1)
         self._obs_bytes.add(len(frame))
+
+    def _zero_guard(self) -> None:
+        """Zero one frame header's worth of stale bytes after the log end.
+
+        While a lazily-zeroed dirty region trails the live content, the
+        bytes right after the append cursor are remnants of pre-truncation
+        frames.  A post-crash scan stops at the first invalid frame — but a
+        stale frame that happens to start exactly at the cursor would parse
+        as valid and resurrect a dropped (or worse, duplicate a surviving)
+        record.  Keeping the next header zeroed makes the scan's stopping
+        point deterministic.
+        """
+        pos = self.file.append_pos
+        if self._dirty_end > pos:
+            self.file.zero_range(pos, min(_FRAME.size, self._dirty_end - pos))
 
     def log_update(self, table: str, update: UpdateRecord) -> None:
         codec = self.codecs.get(table)
@@ -140,6 +238,132 @@ class RedoLog:
         for name in victims:
             payload += _pack_str(name)
         self._append(LogRecordType.RUN_MERGE, payload)
+
+    def log_checkpoint(self, checkpoint: Checkpoint) -> None:
+        self._append(
+            LogRecordType.CHECKPOINT, self._encode_checkpoint(checkpoint)
+        )
+        get_registry().counter("txn.log.checkpoints_written").add(1)
+
+    @staticmethod
+    def _encode_checkpoint(checkpoint: Checkpoint) -> bytes:
+        payload = struct.pack(
+            "<QQ", checkpoint.checkpoint_ts, checkpoint.migrated_ts
+        ) + _pack_str(checkpoint.table)
+        payload += struct.pack("<H", len(checkpoint.runs))
+        for entry in checkpoint.runs:
+            payload += _pack_str(entry.name)
+            payload += struct.pack(
+                "<QQH",
+                entry.covered_min_ts,
+                entry.covered_max_ts,
+                len(entry.migrated_ranges),
+            )
+            for lo, hi in entry.migrated_ranges:
+                payload += struct.pack("<qq", lo, hi)
+        return payload
+
+    # ----------------------------------------------------------- truncation
+    def truncate_through(self, checkpoint: Checkpoint) -> TruncationReport:
+        """Reclaim the log prefix the checkpoint fence makes dead weight.
+
+        Compacts in place: records newer than ``checkpoint.checkpoint_ts``
+        (plus records of other tables) are rewritten to the front of the
+        file behind a fresh CHECKPOINT record, and the append cursor drops
+        back to the end of the compacted content.  The stale remainder is
+        *not* zeroed here — it becomes the dirty region that
+        :meth:`scrub_dirty` reclaims in paced slices — so the synchronous
+        cost of truncation is proportional to the small live suffix, not
+        to the (potentially huge) reclaimed prefix.
+
+        Correctness of the lazy zeroing: a crash before the dirty region
+        is clean can only resurrect whole pre-fence frames, and recovery
+        reads the CHECKPOINT first, so every such record is filtered by
+        its timestamp exactly as if it had survived legitimately.
+        """
+        end = self.file.append_pos
+        survivors: list[bytes] = []
+        dropped = 0
+        offset = 0
+        while offset < end:
+            header = self.file.read(offset, _FRAME.size)
+            length, rtype_raw, stored_crc = _FRAME.unpack(header)
+            payload = self.file.read(offset + _FRAME.size, length)
+            if checksum(bytes([rtype_raw & 0xFF]) + payload) != stored_crc:
+                raise RecoveryError(
+                    f"live log record at offset {offset} failed checksum; "
+                    "refusing to truncate"
+                )
+            offset += _FRAME.size + length
+            record = self._decode(LogRecordType(rtype_raw), payload)
+            if self._survives(record, checkpoint):
+                survivors.append(header + payload)
+            else:
+                dropped += 1
+        cp_payload = self._encode_checkpoint(checkpoint)
+        cp_crc = checksum(bytes([int(LogRecordType.CHECKPOINT)]) + cp_payload)
+        frames = [
+            _FRAME.pack(len(cp_payload), int(LogRecordType.CHECKPOINT), cp_crc)
+            + cp_payload
+        ] + survivors
+        content = b"".join(frames)
+        if len(content) > self.file.size:
+            raise RecoveryError(
+                f"compacted log ({len(content)} bytes) exceeds the log file "
+                f"({self.file.size} bytes)"
+            )
+        crash_point("wal.truncate")
+        self.file.write(0, content)
+        new_end = len(content)
+        self._dirty_start = new_end
+        self._dirty_end = max(self._dirty_end, end)
+        self.file.seek_append(new_end)
+        self._zero_guard()
+        self.truncated_through = max(
+            self.truncated_through, checkpoint.checkpoint_ts
+        )
+        reclaimed = max(0, end - new_end)
+        registry = get_registry()
+        registry.counter("txn.log.truncations").add(1)
+        registry.counter("txn.log.bytes_reclaimed").add(reclaimed)
+        registry.counter("txn.log.checkpoints_written").add(1)
+        return TruncationReport(
+            reclaimed_bytes=reclaimed,
+            records_dropped=dropped,
+            records_kept=len(survivors),
+            live_bytes=new_end,
+            dirty_bytes=self.dirty_bytes,
+        )
+
+    @staticmethod
+    def _survives(record: LogRecord, checkpoint: Checkpoint) -> bool:
+        """Does ``record`` still carry information past the fence?"""
+        if record.type is LogRecordType.CHECKPOINT:
+            # Superseded by the fresh checkpoint (same table only).
+            return record.table != checkpoint.table
+        if record.type in (LogRecordType.UPDATE, LogRecordType.RUN_FLUSH):
+            if record.table != checkpoint.table:
+                return True
+        return record.timestamp > checkpoint.checkpoint_ts
+
+    def scrub_dirty(self, max_bytes: Optional[int] = None) -> int:
+        """Zero up to ``max_bytes`` of the stale post-truncation region.
+
+        Returns the bytes zeroed (0 = clean).  Called in paced slices by
+        background maintenance; appends that advanced over stale bytes
+        shrink the region for free (a fresh frame is as good as zeroes).
+        """
+        start = max(self._dirty_start, self.file.append_pos)
+        pending = self._dirty_end - start
+        if pending <= 0:
+            self._dirty_start = self._dirty_end = 0
+            return 0
+        step = pending if max_bytes is None else max(1, min(max_bytes, pending))
+        self.file.zero_range(start, step)
+        self._dirty_start = start + step
+        if self._dirty_start >= self._dirty_end:
+            self._dirty_start = self._dirty_end = 0
+        return step
 
     # ----------------------------------------------------------------- reads
     def records(self) -> Iterator[LogRecord]:
@@ -185,11 +409,26 @@ class RedoLog:
                 rtype = LogRecordType(rtype_raw)
             except ValueError as exc:
                 raise RecoveryError(f"corrupt log record type {rtype_raw}") from exc
-            yield self._decode(rtype, payload)
+            record = self._decode(rtype, payload)
+            if record.type is LogRecordType.CHECKPOINT:
+                # A persisted checkpoint means the prefix below its fence
+                # was (or may legitimately have been) reclaimed.
+                self.truncated_through = max(
+                    self.truncated_through, record.timestamp
+                )
+            yield record
         if scanning:
             # The append cursor was lost with the crash; park it after the
             # surviving records so fresh appends do not overwrite them.
             self.file.seek_append(offset)
+            if self.truncated_through > 0 and offset < self.file.size:
+                # The dirty-region extent was volatile too.  A checkpoint in
+                # the log means a lazily-zeroed stale region may trail the
+                # live content; treat everything after it as dirty so the
+                # append-time guard and background scrubbing stay armed.
+                self._dirty_start = offset
+                self._dirty_end = self.file.size
+                self._zero_guard()
 
     def _torn_tail(self, offset: int, reason: str) -> None:
         """Count a torn tail record found while scanning after a crash.
@@ -236,5 +475,35 @@ class RedoLog:
                 run_names=tuple(victims),
                 covered_ts=(lo, hi),
             )
+        if rtype == LogRecordType.CHECKPOINT:
+            checkpoint_ts, migrated_ts = struct.unpack_from("<QQ", payload, 0)
+            table, pos = _unpack_str(payload, 16)
+            (count,) = struct.unpack_from("<H", payload, pos)
+            pos += 2
+            entries = []
+            for _ in range(count):
+                name, pos = _unpack_str(payload, pos)
+                cov_min, cov_max, ranges = struct.unpack_from("<QQH", payload, pos)
+                pos += struct.calcsize("<QQH")
+                spans = []
+                for _ in range(ranges):
+                    lo, hi = struct.unpack_from("<qq", payload, pos)
+                    pos += struct.calcsize("<qq")
+                    spans.append((lo, hi))
+                entries.append(
+                    RunManifestEntry(
+                        name=name,
+                        covered_min_ts=cov_min,
+                        covered_max_ts=cov_max,
+                        migrated_ranges=tuple(spans),
+                    )
+                )
+            cp = Checkpoint(
+                table=table,
+                checkpoint_ts=checkpoint_ts,
+                migrated_ts=migrated_ts,
+                runs=tuple(entries),
+            )
+            return LogRecord(rtype, checkpoint_ts, table=table, checkpoint=cp)
         (timestamp,) = struct.unpack_from("<Q", payload, 0)
         return LogRecord(rtype, timestamp)

@@ -58,6 +58,12 @@ class RecoveryReport:
     #: active scan; serving them alongside the product would apply every
     #: merged update twice.
     merge_victims_discarded: int = 0
+    #: Damaged-run timestamp gaps the (truncated) log can no longer rebuild:
+    #: the lost records predate the checkpoint fence.  The replica's local
+    #: state is incomplete — only a snapshot bootstrap from a peer heals it.
+    unrecoverable_gaps: int = 0
+    #: Fence of the newest CHECKPOINT record seen (0 = log never truncated).
+    checkpoint_ts: int = 0
 
 
 def rebuild_table_index(table: Table) -> None:
@@ -136,6 +142,8 @@ def recover_masm(
     completed_partial: list[tuple[tuple[str, ...], tuple[int, int]]] = []
     # (product, victims, product covered-ts span)
     merges: list[tuple[str, tuple[str, ...], tuple[int, int]]] = []
+    # run name -> RunManifestEntry from the newest CHECKPOINT record.
+    manifest: dict = {}
     full_range = (0, 2**63 - 1)
     with trace("txn.recover.replay"):
         for record in redo_log.records():
@@ -171,6 +179,18 @@ def recover_masm(
                 merges.append(
                     (record.run_name, record.run_names or (), record.covered_ts)
                 )
+            elif record.type == LogRecordType.CHECKPOINT:
+                cp = record.checkpoint
+                if cp is not None and cp.table == table.name:
+                    # The checkpoint stands in for the truncated prefix: it
+                    # seeds the watermarks and the run manifest the dropped
+                    # RUN_FLUSH / MIGRATION / RUN_MERGE records established.
+                    flushed_through = max(flushed_through, cp.checkpoint_ts)
+                    migrated_ts = max(migrated_ts, cp.migrated_ts)
+                    manifest = {entry.name: entry for entry in cp.runs}
+                    report.checkpoint_ts = max(
+                        report.checkpoint_ts, cp.checkpoint_ts
+                    )
 
     # ---- 1. reload run metadata from the SSD, tolerating damage ------------
     pattern = re.compile(re.escape(masm.name) + r"-run-(\d+)$")
@@ -195,6 +215,18 @@ def recover_masm(
             continue
         runs_by_name[file_name] = run
 
+    # Restore checkpoint-manifest metadata: the covered-ts spans and the
+    # migrated ranges these runs carried when the fence was cut — the log
+    # records that established them may have been truncated away.
+    for file_name, run in runs_by_name.items():
+        entry = manifest.get(file_name)
+        if entry is None:
+            continue
+        run.covered_min_ts = min(run.covered_min_ts, entry.covered_min_ts)
+        run.covered_max_ts = max(run.covered_max_ts, entry.covered_max_ts)
+        for lo, hi in entry.migrated_ranges:
+            run.mark_migrated(lo, hi)
+
     # Merges log their RUN_MERGE record *before* materializing the product
     # run, so the product file's intact existence is the commit point.
     # Product intact: the victims are superseded copies of its content —
@@ -205,6 +237,11 @@ def recover_masm(
     # damaged: the merge never committed; the victims stay authoritative
     # and the damaged-product file is discarded by the damage path below
     # (its content needs no rebuild — the victims still cover it).
+    # Manifest runs retired by a *surviving* log record (a committed merge,
+    # a completed migration) are legitimately absent from the SSD; anything
+    # else listed at the fence but missing from the volume was lost and
+    # must go through the same gap rebuild as a damaged file.
+    retired_names: set = set()
     for product, victim_names, covered_ts in merges:
         match = pattern.match(product)
         if match:
@@ -214,6 +251,7 @@ def recover_masm(
             masm._run_seq = max(masm._run_seq, int(match.group(1)) + 1)
         if product not in runs_by_name:
             continue
+        retired_names.update(victim_names)
         product_run = runs_by_name[product]
         # The reloaded span is derived from content, which combine may have
         # narrowed (a chain collapses to its latest timestamp); restore the
@@ -233,6 +271,7 @@ def recover_masm(
     # Runs of completed *full* migrations should be gone; delete leftovers
     # (the crash may have hit between the END record and the deletion).
     for names in completed_full:
+        retired_names.update(names)
         for run_name in names:
             if runs_by_name.pop(run_name, None) is not None:
                 ssd_volume.delete(run_name)
@@ -251,6 +290,7 @@ def recover_masm(
     # their updates, and re-serving already-migrated ones is harmless under
     # the page-timestamp rule.
     for names, (range_lo, range_hi) in completed_partial:
+        retired_names.update(names)
         for run_name in names:
             run = runs_by_name.get(run_name)
             if run is None:
@@ -287,12 +327,27 @@ def recover_masm(
     # what the damaged runs held; re-materialize each gap as a fresh run.
     # (A damaged *orphan* needs no rebuild: its ts range is past
     # flushed_through and replays into the buffer like any unflushed update.)
-    if damaged_names:
+    lost_manifest_names = [
+        name
+        for name in manifest
+        if name not in runs_by_name and name not in retired_names
+    ]
+    if damaged_names or lost_manifest_names:
         covered = sorted(
             (run.covered_min_ts, run.covered_max_ts) for run in masm.runs
         )
         gaps = _uncovered_intervals(migrated_ts + 1, flushed_through, covered)
+        log_floor = redo_log.truncated_through
         for gap_lo, gap_hi in gaps:
+            if gap_lo <= log_floor:
+                # The lost records predate the checkpoint fence: the log
+                # prefix that held them was reclaimed.  Local recovery
+                # cannot rebuild this — flag it so the replication layer
+                # falls back to a snapshot bootstrap from a healthy peer.
+                report.unrecoverable_gaps += 1
+                gap_lo = log_floor + 1
+                if gap_lo > gap_hi:
+                    continue
             lost = [u for u in pending if gap_lo <= u.timestamp <= gap_hi]
             if not lost:
                 continue
@@ -314,6 +369,9 @@ def recover_masm(
 
     # ---- 5. the oracle must move past everything seen ----------------------
     masm.oracle.advance_past(report.max_timestamp_seen)
+    masm.flushed_through = flushed_through
+    masm.migrated_through = migrated_ts
+    masm.last_checkpoint_ts = redo_log.truncated_through
 
     # ---- 3. redo interrupted migrations ------------------------------------
     # Idempotent: pages already rewritten carry timestamps >= the updates.
@@ -332,6 +390,7 @@ def recover_masm(
         "corrupt_runs_discarded",
         "orphan_runs_discarded",
         "runs_rebuilt",
+        "unrecoverable_gaps",
     ):
         registry.counter(f"txn.recovery.{field_name}").add(
             getattr(report, field_name)

@@ -1,0 +1,313 @@
+"""Checkpoints, WAL truncation, snapshot export/install, scrub repair.
+
+The invariant under test everywhere: a checkpoint fences exactly the
+prefix of the update stream whose durable home is the flushed runs (and
+migrated heap ranges), so compacting the WAL behind the fence — then
+crashing, recovering, snapshotting or repairing — can never change what
+any scan at any timestamp answers.
+"""
+
+import pytest
+
+from repro.core.masm import MaSM, MaSMConfig
+from repro.core.migration import migrate_all
+from repro.core.update import UpdateRecord, UpdateType
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import ChecksumError, StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.log import LogRecordType, RedoLog
+from repro.txn.recovery import recover_masm
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+
+
+def build_system(n=1000, log_bytes=2 * MB):
+    disk_vol = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    table = Table.create(disk_vol, "t", SCHEMA, n)
+    table.bulk_load((i * 2, f"rec-{i}") for i in range(n))
+    config = MaSMConfig(
+        alpha=1.0, ssd_page_size=16 * KB, block_size=4 * KB, auto_migrate=False
+    )
+    log = RedoLog(ssd_vol.create("redo-log", log_bytes))
+    masm = MaSM(table, ssd_vol, config=config)
+    masm.attach_log(log)
+    return masm, table, ssd_vol, log, config
+
+
+def crash_and_recover(masm, table, ssd_vol, log, config):
+    bare_table = Table(table.name, table.schema, table.heap)
+    bare_table.heap.num_pages = table.heap.capacity_pages
+    fresh_log = RedoLog(log.file)
+    fresh_log.file._append_pos = 0  # cursor lost with the crash
+    return recover_masm(bare_table, ssd_vol, fresh_log, config=config)
+
+
+def scan_dict(masm):
+    # Pin an explicit far-future ts: the peer-repair test feeds apply()
+    # explicit timestamps, which never advance the engine's own oracle.
+    return {SCHEMA.key(r): r for r in masm.range_scan(0, 2**62, query_ts=2**62)}
+
+
+def corrupt_run(masm, run_index=0, offset=100):
+    run = masm.runs[run_index]
+    byte = run.file.read(offset, 1)[0]
+    run.file.write(offset, bytes([byte ^ 0xFF]))
+    masm.block_cache.invalidate_run(run.name)
+    return run
+
+
+# ------------------------------------------------------------- truncation
+def test_checkpoint_and_truncate_reclaims_wal():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(50):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    before = log.live_bytes
+    cp, report = masm.checkpoint_and_truncate()
+    assert cp.checkpoint_ts == masm.flushed_through
+    assert report.reclaimed_bytes > 0
+    assert log.live_bytes < before
+    assert log.truncated_through == cp.checkpoint_ts
+    assert masm.stats.checkpoints == 1
+    assert masm.last_checkpoint_ts == cp.checkpoint_ts
+
+
+def test_truncation_keeps_post_fence_records():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(30):
+        masm.modify(i * 2, {"payload": f"flushed{i}"})
+    masm.flush_buffer()
+    for i in range(10):
+        masm.modify(i * 2 + 60, {"payload": f"buffered{i}"})
+    cp, _ = masm.checkpoint_and_truncate()
+    # The buffered suffix survives compaction; the flushed prefix is gone.
+    kinds = [(r.type, r.timestamp) for r in log.records()]
+    updates = [ts for t, ts in kinds if t is LogRecordType.UPDATE]
+    assert len(updates) == 10
+    assert all(ts > cp.checkpoint_ts for ts in updates)
+    assert kinds[0][0] is LogRecordType.CHECKPOINT
+
+
+def test_checkpoint_refused_for_buffered_only_prefix():
+    masm, table, ssd_vol, log, config = build_system()
+    masm.modify(40, {"payload": "buffered"})
+    # Nothing flushed: the fence cannot advance past the buffered min ts.
+    assert masm.checkpoint() is None
+    assert masm.checkpoint_and_truncate() is None
+
+
+def test_checkpoint_refused_while_a_run_is_quarantined():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(30):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    corrupt_run(masm)
+    masm.scrub()
+    assert masm.runs[0].quarantined
+    assert masm.checkpoint() is None
+
+
+def test_scrub_dirty_zeroes_in_paced_slices():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(60):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    masm.checkpoint_and_truncate()
+    assert log.dirty_bytes > 0
+    total = log.dirty_bytes
+    zeroed = log.scrub_dirty(512)
+    assert zeroed <= 512
+    while log.dirty_bytes:
+        zeroed += log.scrub_dirty(512)
+    assert zeroed == total
+    assert log.scrub_dirty() == 0
+
+
+def test_crash_recovery_after_truncation_is_byte_identical():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(40):
+        masm.modify(i * 2, {"payload": f"a{i}"})
+    masm.flush_buffer()
+    masm.checkpoint_and_truncate()
+    for i in range(20):
+        masm.modify(i * 2 + 400, {"payload": f"b{i}"})
+    expected = scan_dict(masm)
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.checkpoint_ts > 0
+    assert report.unrecoverable_gaps == 0
+    assert scan_dict(recovered) == expected
+    # The recovered engine knows the fence and can checkpoint again.
+    assert recovered.last_checkpoint_ts == report.checkpoint_ts
+    recovered.flush_buffer()
+    assert recovered.checkpoint_and_truncate() is not None
+
+
+def test_recovery_after_truncation_restores_covered_spans():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(40):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    spans = [(r.covered_min_ts, r.covered_max_ts) for r in masm.runs]
+    masm.checkpoint_and_truncate()
+    recovered, _ = crash_and_recover(masm, table, ssd_vol, log, config)
+    # The UPDATE records inside the runs' spans are gone from the log; the
+    # checkpoint manifest is what restores the raw covered spans.
+    assert [
+        (r.covered_min_ts, r.covered_max_ts) for r in recovered.runs
+    ] == spans
+
+
+def test_truncated_gap_is_reported_unrecoverable():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(40):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    run_name = masm.runs[0].file.name
+    masm.checkpoint_and_truncate()
+    # Lose the run AFTER its updates were compacted out of the WAL: the
+    # gap rebuild has nothing to replay from.
+    ssd_vol.delete(run_name)
+    recovered, report = crash_and_recover(masm, table, ssd_vol, log, config)
+    assert report.unrecoverable_gaps >= 1
+
+
+def test_migration_advances_the_fence():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(30):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    migrate_all(masm)
+    assert masm.migrated_through > 0
+    cp, _ = masm.checkpoint_and_truncate()
+    assert cp.migrated_ts == masm.migrated_through
+
+
+# ------------------------------------------------------------ scrub repair
+def test_scrub_repair_rebuilds_run_from_log():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(30):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    expected = scan_dict(masm)
+    corrupt_run(masm)
+    report = masm.scrub(repair=True)
+    assert report.repaired and not report.quarantined
+    assert not masm.runs[0].quarantined
+    assert masm.stats.runs_repaired == 1
+    assert scan_dict(masm) == expected
+    # Repaired means re-verifiable, not just swapped in.
+    assert masm.scrub().clean
+
+
+def test_scrub_repair_without_log_coverage_stays_quarantined():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(30):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    masm.checkpoint_and_truncate()  # log no longer covers the run's span
+    corrupt_run(masm)
+    report = masm.scrub(repair=True)
+    assert report.quarantined and not report.repaired
+
+
+def test_peer_repair_rebuilds_run_by_span():
+    # Two engines fed the same stream, flushed at DIFFERENT points, so
+    # their run layouts (and names) diverge — repair must go by span.
+    masm_a, *rest_a = build_system()
+    masm_b, *rest_b = build_system()
+    for i in range(30):
+        update = UpdateRecord(
+            i + 1, i * 2, UpdateType.MODIFY, {"payload": f"v{i}"}
+        )
+        masm_a.apply(update)
+        masm_b.apply(update)
+        if i == 9:
+            masm_a.flush_buffer()
+        if i == 19:
+            masm_b.flush_buffer()
+    masm_a.flush_buffer()
+    masm_b.flush_buffer()
+    expected = scan_dict(masm_a)
+    assert scan_dict(masm_b) == expected
+    # Make the log useless for repair, then damage a run.
+    damaged = corrupt_run(masm_a)
+    masm_a.redo_log.truncated_through = damaged.covered_max_ts
+    report = masm_a.scrub(repair=True)
+    assert damaged.name in report.quarantined
+    assert masm_a.repair_run_from_peer(damaged.name, masm_b)
+    assert masm_a.stats.peer_repairs == 1
+    assert scan_dict(masm_a) == expected
+    assert masm_a.scrub().clean
+
+
+# --------------------------------------------------------------- snapshots
+def test_snapshot_export_install_roundtrip():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(40):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    for i in range(5):
+        masm.modify(i * 2 + 100, {"payload": f"late{i}"})
+    snapshot = masm.export_snapshot()
+    assert snapshot.snapshot_ts == masm.flushed_through
+
+    disk_vol2 = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol2 = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    target = Table.create(disk_vol2, "t", SCHEMA, 1000)
+    installed, manifest = MaSM.install_snapshot(
+        snapshot, target, ssd_vol2, config=config
+    )
+    # The install carries everything at or below the fence; the 5 late
+    # buffered updates are exactly what catch-up would replay.
+    late = {i * 2 + 100 for i in range(5)}
+    expected = {
+        k: v for k, v in scan_dict(masm).items() if k not in late
+    }
+    assert {
+        k: v for k, v in scan_dict(installed).items() if k not in late
+    } == expected
+    assert manifest.checkpoint_ts == snapshot.snapshot_ts
+    assert installed.flushed_through == snapshot.snapshot_ts
+    # Run metadata survives translation: covered spans intact.
+    assert sorted(
+        (r.covered_min_ts, r.covered_max_ts) for r in installed.runs
+    ) == sorted((r.covered_min_ts, r.covered_max_ts) for r in masm.runs)
+
+
+def test_snapshot_install_verifies_crcs():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(20):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    snapshot = masm.export_snapshot()
+    tampered = snapshot.__class__(
+        table=snapshot.table,
+        snapshot_ts=snapshot.snapshot_ts,
+        migrated_ts=snapshot.migrated_ts,
+        heap_pages=snapshot.heap_pages,
+        heap_payload=b"\x00" * len(snapshot.heap_payload),
+        heap_crc=snapshot.heap_crc,
+        runs=snapshot.runs,
+        checkpoint=snapshot.checkpoint,
+    )
+    disk_vol2 = StorageVolume(SimulatedDisk(capacity=128 * MB))
+    ssd_vol2 = StorageVolume(SimulatedSSD(capacity=8 * MB))
+    target = Table.create(disk_vol2, "t", SCHEMA, 1000)
+    with pytest.raises(ChecksumError):
+        MaSM.install_snapshot(tampered, target, ssd_vol2, config=config)
+
+
+def test_snapshot_export_refused_with_quarantined_run():
+    masm, table, ssd_vol, log, config = build_system()
+    for i in range(20):
+        masm.modify(i * 2, {"payload": f"v{i}"})
+    masm.flush_buffer()
+    corrupt_run(masm)
+    masm.scrub()
+    with pytest.raises(StorageError):
+        masm.export_snapshot()

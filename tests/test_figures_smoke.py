@@ -26,6 +26,7 @@ FAST = {
     "serving-scale": {"scale": 0.02},
     "noisy-neighbor": {"scale": 0.15, "requests": 2},
     "availability-under-chaos": {"scale": 0.15, "requests": 40},
+    "durability-under-churn": {"scale": 0.15, "requests": 40},
 }
 
 

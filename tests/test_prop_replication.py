@@ -6,6 +6,11 @@ exactly the rows the fault-free model oracle holds at that timestamp —
 no row newer than the pinned ts, no duplicates, no drops.  The pinned ts
 is frequently drawn *mid-stream*, so the scan also proves that updates
 applied after the pin stay invisible even while replicas fail over.
+
+The second property extends the schedule alphabet with the durability
+levers — checkpointed WAL truncation, total replica wipes revived by
+snapshot bootstrap, and silent bit-flips chased by anti-entropy repair —
+and demands the same byte-identity against the fault-free oracle.
 """
 
 import pytest
@@ -137,3 +142,155 @@ def test_fanout_scan_matches_fault_free_oracle(ops, pin_choice, lo, span):
             warehouse.shards[warehouse.route(extra_key)].apply(update)
             model.record(update)
             assert backend.fanout_scan(lo, hi, pinned).records == expected
+
+
+# One durability op: (kind, key_choice, tag).  The alphabet adds the
+# checkpoint/truncate, wipe/bootstrap and bit-flip/repair levers.
+durability_ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "insert",
+                "delete",
+                "modify",
+                "flush",
+                "crash",
+                "rejoin",
+                "wipe",
+                "checkpoint",
+                "bitflip",
+            ]
+        ),
+        st.integers(min_value=0, max_value=UNIVERSE - 1),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=4,
+    max_size=40,
+)
+
+
+@given(
+    ops=durability_ops_strategy,
+    pin_choice=st.integers(min_value=0, max_value=10**6),
+    lo=st.integers(min_value=0, max_value=UNIVERSE - 1),
+    span=st.integers(min_value=1, max_value=UNIVERSE),
+)
+@settings(max_examples=25, deadline=None)
+def test_durability_schedule_matches_fault_free_oracle(
+    ops, pin_choice, lo, span
+):
+    """Any (checkpoint, truncate, crash, wipe, bootstrap, bit-flip,
+    repair) schedule, pinned mid-stream, answers like the fault-free
+    model."""
+    from repro.core.replication import ReplicaSet, ReplicaState
+    from repro.txn.timestamps import TimestampOracle
+
+    with use_registry():
+        oracle = TimestampOracle()
+        rset = ReplicaSet.build(
+            0, SCHEMA, oracle, SimClock(), 3, records_per_node=4 * ROWS
+        )
+        base = [(i * 2, f"rec-{i}") for i in range(2 * ROWS)]
+        for replica in rset.replicas:
+            replica.table.bulk_load(base)
+        model = ModelTable(SCHEMA, base)
+
+        crashed: list[int] = []
+        for kind, key, tag in ops:
+            state = model.snapshot(2**62)
+            online = rset.online_ids()
+            if kind == "insert":
+                if key in state:
+                    continue
+                ts = oracle.next()
+                update = UpdateRecord(ts, key, UpdateType.INSERT, (key, f"p{tag}"))
+            elif kind == "delete":
+                if key not in state:
+                    continue
+                ts = oracle.next()
+                update = UpdateRecord(ts, key, UpdateType.DELETE, None)
+            elif kind == "modify":
+                if key not in state:
+                    continue
+                ts = oracle.next()
+                update = UpdateRecord(
+                    ts, key, UpdateType.MODIFY, {"payload": f"m{tag}"}
+                )
+            elif kind == "flush":
+                # Flush ONE replica: layouts (and later run names) diverge,
+                # which is exactly what span-based peer repair must survive.
+                rset.replicas[online[tag % len(online)]].masm.flush_buffer()
+                continue
+            elif kind == "crash":
+                if len(online) > 1:
+                    victim = online[tag % len(online)]
+                    rset.crash_replica(victim)
+                    crashed.append(victim)
+                continue
+            elif kind == "rejoin":
+                if crashed:
+                    # Transparently bootstraps when the rejoiner was wiped
+                    # or the primary truncated past its watermark.
+                    rset.rejoin(crashed.pop(0))
+                continue
+            elif kind == "wipe":
+                if len(online) > 1:
+                    victim = online[tag % len(online)]
+                    rset.wipe_replica(victim)
+                    crashed.append(victim)
+                continue
+            elif kind == "checkpoint":
+                for replica in rset.replicas:
+                    if replica.state is ReplicaState.ONLINE:
+                        replica.masm.flush_buffer()
+                rset.maintenance(force_checkpoint=True)
+                continue
+            else:  # bitflip: silent corruption + immediate anti-entropy
+                victim = rset.replicas[online[tag % len(online)]]
+                runs = victim.masm.runs
+                if not runs or len(online) < 2:
+                    continue
+                run = runs[tag % len(runs)]
+                offset = (key * 131) % (run.num_blocks * run.block_size)
+                byte = run.file.read(offset, 1)[0]
+                run.file.write(offset, bytes([byte ^ (1 << (tag % 8))]))
+                victim.masm.block_cache.invalidate_run(run.name)
+                report = rset.anti_entropy()
+                assert not report["unrepaired"], report
+                continue
+            rset.apply(update)
+            model.record(update)
+
+        while crashed:
+            rset.rejoin(crashed.pop(0))
+
+        # Pin a snapshot — often mid-stream — and demand byte-identity
+        # from EVERY replica, whatever it lived through.
+        if model.history:
+            pinned = model.history[pin_choice % len(model.history)].timestamp
+        else:
+            pinned = oracle.next()
+        hi = min(lo + span, UNIVERSE)
+        expected = model.snapshot_records(pinned, lo, hi)
+        for replica_id in rset.online_ids():
+            got = list(rset.scan(lo, hi, pinned, replica_id=replica_id))
+            assert got == expected, f"replica {replica_id} diverged"
+
+        # More churn after the pin cannot leak into the pinned answer,
+        # even through a checkpoint + truncation.
+        extra_key = next(
+            (k for k in range(1, UNIVERSE, 2) if k not in model.snapshot(2**62)),
+            None,
+        )
+        if extra_key is not None:
+            ts = oracle.next()
+            rset.apply(
+                UpdateRecord(ts, extra_key, UpdateType.INSERT, (extra_key, "late"))
+            )
+            for replica in rset.replicas:
+                if replica.state is ReplicaState.ONLINE:
+                    replica.masm.flush_buffer()
+            rset.maintenance(force_checkpoint=True)
+            for replica_id in rset.online_ids():
+                got = list(rset.scan(lo, hi, pinned, replica_id=replica_id))
+                assert got == expected

@@ -226,6 +226,89 @@ def test_catch_up_requires_recovery_first():
             rset.recover_replica(0)  # not crashed
 
 
+# ------------------------------------------------------ snapshot bootstrap
+def test_wiped_replica_bootstraps_from_peer():
+    with use_registry():
+        from repro.obs import get_registry
+
+        rset, model = build_set()
+        apply_mixed(rset, model, 40, "pre-wipe")
+        for replica in rset.replicas:
+            replica.masm.flush_buffer()
+        rset.wipe_replica(2)  # total node loss: SSD files AND heap gone
+        assert rset.replica(2).state is ReplicaState.CRASHED
+        apply_mixed(rset, model, 20, "while-wiped")
+        rset.rejoin(2)  # transparently falls back to a snapshot bootstrap
+        assert rset.replica(2).state is ReplicaState.ONLINE
+        assert get_registry().counter("replication.bootstraps").value == 1
+        assert_replicas_identical(rset, model, "after wipe bootstrap")
+        # The bootstrapped node is a first-class replica: more churn and
+        # its own checkpoint cycle keep it byte-identical.
+        apply_mixed(rset, model, 15, "post-bootstrap")
+        for replica in rset.replicas:
+            replica.masm.flush_buffer()
+        rset.maintenance(force_checkpoint=True)
+        assert_replicas_identical(rset, model, "bootstrapped + checkpointed")
+
+
+def test_truncation_past_watermark_forces_bootstrap():
+    with use_registry():
+        from repro.obs import get_registry
+
+        rset, model = build_set()
+        apply_mixed(rset, model, 30, "before")
+        rset.crash_replica(1)
+        # Churn + checkpoint while it is down: the primary's WAL prefix
+        # the laggard would need is truncated away.
+        apply_mixed(rset, model, 30, "while-down")
+        for replica in rset.replicas:
+            if replica.state is ReplicaState.ONLINE:
+                replica.masm.flush_buffer()
+        rset.maintenance(force_checkpoint=True)
+        assert rset.primary.masm.redo_log.truncated_through > 0
+        rset.rejoin(1)  # incremental catch-up impossible -> bootstrap
+        assert get_registry().counter("replication.bootstraps").value == 1
+        assert_replicas_identical(rset, model, "bootstrap past truncation")
+
+
+def test_total_outage_is_typed_retryable_then_bootstrap_restores_service():
+    """Satellite: every replica down surfaces as a *typed, retryable*
+    error through the serving front door, and a recovery + snapshot
+    bootstrap restores byte-identical service."""
+    with use_registry():
+        warehouse, model, clock = build_warehouse(
+            num_shards=2, replication=2
+        )
+        warehouse_mixed(warehouse, model, 60, "pre-outage")
+        warehouse.flush_all()
+        door = FrontDoor(
+            ReplicatedBackend(warehouse, scope="test.outage"),
+            scope="test.outage",
+            keep_records=True,
+        )
+        baseline = door.query("t", 0, 8 * ROWS, seq=0)
+        assert list(baseline.records) == model.snapshot_records(
+            baseline.query_ts, 0, 8 * ROWS
+        )
+        # Take down EVERY replica of shard 0: the shard is gone, not slow.
+        warehouse.crash_replica(0, 0)
+        warehouse.crash_replica(0, 1)
+        with pytest.raises(NoHealthyReplicaError) as excinfo:
+            door.query("t", 0, 8 * ROWS, seq=1)
+        assert excinfo.value.retryable  # clients may back off and retry
+        # The last replica to crash rejoins first (it holds every
+        # acknowledged update) and is promoted straight from its own WAL
+        # recovery; the other was wiped and bootstraps from it.
+        warehouse.rejoin_replica(0, 1)
+        warehouse.wipe_replica(0, 0)
+        warehouse.bootstrap_replica(0, 0)
+        after = door.query("t", 0, 8 * ROWS, seq=2)
+        assert list(after.records) == model.snapshot_records(
+            after.query_ts, 0, 8 * ROWS
+        )
+        assert not after.partial
+
+
 # ------------------------------------------------- replicated fan-out (router)
 def build_warehouse(num_shards=2, replication=3, node_faults=None):
     clock = SimClock()
