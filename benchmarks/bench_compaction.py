@@ -1,0 +1,191 @@
+"""Compaction benchmark: latency stability under a sustained 2x flood.
+
+Drives the ``latency-stability-compaction`` experiment — two identically
+sized engines absorbing the same update flood at twice the sustainable
+rate with periodic range scans, one running the structural merge oracle
+(stop-the-world merges in the scan preamble), the other the cost-based
+incremental scheduler (WAL-fenced slices paced on the ingest timeline) —
+and distills the latency-stability acceptance surface:
+
+* **tail no worse** — the cost engine's p99.9 scan latency must not
+  exceed the structural engine's: paying merges in bounded slices off the
+  scan path is the whole point of the scheduler.
+* **no more device time** — total simulated device busy seconds (disk +
+  SSD) for the cost engine must stay within ``DEVICE_TIME_TOLERANCE`` of
+  structural: the tail win must come from *scheduling* the same work,
+  not from skipping it.
+* **non-vacuous pressure** — the run count must actually cross the
+  budget (``peak runs`` above the trigger) and the cost engine must
+  apply at least one incremental slice with zero emergency structural
+  fallbacks; a comparison where neither scheduler engaged proves
+  nothing.
+* **determinism** — the driver runs TWICE; the exported metrics reports
+  must be byte-identical (virtual time, seeded flood).
+
+Writes ``benchmarks/results/BENCH_compaction.json`` so the surface is
+tracked across PRs (``check_regression.py`` gates on it).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_compaction.py
+Smoke (CI):      ... bench_compaction.py --smoke
+Under pytest:    pytest benchmarks/bench_compaction.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench.figures import ALL_DRIVERS
+from repro.bench.harness import FigureResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = "BENCH_compaction.json"
+SMOKE_RESULT_FILE = "BENCH_compaction.smoke.json"
+
+#: Cost device seconds over structural device seconds: the same merge
+#: work rescheduled, not skipped (small headroom for accounting noise).
+DEVICE_TIME_TOLERANCE = 1.02
+
+FULL_KWARGS = dict(scale=0.1, seed=7, flood_updates=9000, scan_every=300)
+SMOKE_KWARGS = dict(scale=0.1, seed=7, flood_updates=4500, scan_every=300)
+
+ENGINES = ("structural", "cost")
+
+
+def run_compaction_bench(**kwargs) -> FigureResult:
+    """Run the overload comparison twice; distill the acceptance surface."""
+    driver = ALL_DRIVERS["latency-stability-compaction"]
+    first = driver(**kwargs)
+    second = driver(**kwargs)
+    deterministic = json.dumps(first.metrics, sort_keys=True) == json.dumps(
+        second.metrics, sort_keys=True
+    )
+
+    result = FigureResult(
+        figure="BENCH compaction",
+        title=(
+            "scan-latency stability under a sustained 2x flood: "
+            "structural oracle vs cost-based incremental compaction"
+        ),
+        row_label="engine",
+        columns=[
+            "scans",
+            "p99_ms",
+            "p999_ms",
+            "max_ms",
+            "device_s",
+            "peak_runs",
+            "slices",
+            "emergency",
+        ],
+    )
+    for engine in ENGINES:
+        result.add_row(
+            engine,
+            scans=first.cell(engine, "scans"),
+            p99_ms=first.cell(engine, "p99 scan (ms)"),
+            p999_ms=first.cell(engine, "p99.9 scan (ms)"),
+            max_ms=first.cell(engine, "max scan (ms)"),
+            device_s=first.cell(engine, "device (s)"),
+            peak_runs=first.cell(engine, "peak runs"),
+            slices=first.cell(engine, "slices"),
+            emergency=first.cell(engine, "emergency"),
+        )
+    for note in first.notes:
+        result.note(note)
+    result.note(f"double run byte-identical: {deterministic}")
+    result.metrics = first.metrics
+    result._deterministic = deterministic  # type: ignore[attr-defined]
+    return result
+
+
+def write_results(result: FigureResult, file_name: str = RESULT_FILE) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / file_name
+    path.write_text(result.to_json(unit="milliseconds (latency), seconds, counts"))
+    result.write_metrics(path.with_name(path.stem + ".metrics.json"))
+    return path
+
+
+def check_gates(result: FigureResult, full: bool) -> list[str]:
+    """The compaction acceptance gates; returns failures (empty = ok)."""
+    del full  # every gate applies at smoke size too
+    failures: list[str] = []
+    if not getattr(result, "_deterministic", False):
+        failures.append(
+            "compaction metrics differ between two runs at the same "
+            "seed: the flood run is not deterministic"
+        )
+    structural_tail = result.cell("structural", "p999_ms")
+    cost_tail = result.cell("cost", "p999_ms")
+    if cost_tail > structural_tail:
+        failures.append(
+            f"cost-based p99.9 scan latency {cost_tail:.2f} ms exceeds "
+            f"structural {structural_tail:.2f} ms: the incremental "
+            "scheduler lost the tail it exists to protect"
+        )
+    structural_device = result.cell("structural", "device_s")
+    cost_device = result.cell("cost", "device_s")
+    if cost_device > structural_device * DEVICE_TIME_TOLERANCE:
+        failures.append(
+            f"cost-based device time {cost_device:.3f}s exceeds "
+            f"structural {structural_device:.3f}s by more than "
+            f"{DEVICE_TIME_TOLERANCE - 1:.0%}: the tail win is being "
+            "bought with extra merge work, not better scheduling"
+        )
+    if result.cell("cost", "slices") <= 0:
+        failures.append(
+            "no incremental slices applied: the cost scheduler never "
+            "engaged, so the comparison is vacuous"
+        )
+    if result.cell("cost", "emergency") > 0:
+        failures.append(
+            f"{result.cell('cost', 'emergency'):.0f} emergency structural "
+            "merges under the cost scheduler: pacing fell behind the flood"
+        )
+    for engine in ENGINES:
+        if result.cell(engine, "peak_runs") <= 5:
+            failures.append(
+                f"{engine} engine peak run count "
+                f"{result.cell(engine, 'peak_runs'):.0f} never crossed "
+                "the run budget: no compaction pressure was generated"
+            )
+    return failures
+
+
+def test_compaction_bench():
+    """Pytest entry: smoke-sized flood run must pass every gate."""
+    result = run_compaction_bench(**SMOKE_KWARGS)
+    print()
+    print(result.format())
+    failures = check_gates(result, full=False)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    started = time.perf_counter()
+    result = run_compaction_bench(**(SMOKE_KWARGS if smoke else FULL_KWARGS))
+    elapsed = time.perf_counter() - started
+    print(result.format())
+    print(f"[finished in {elapsed:.1f}s wall time]")
+    path = write_results(result, SMOKE_RESULT_FILE if smoke else RESULT_FILE)
+    print(f"wrote {path}")
+    failures = check_gates(result, full=not smoke)
+    if failures:
+        print("\nFAILED compaction gates:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        "OK: cost-based compaction holds the p99.9 scan tail at or below "
+        "the structural oracle with no extra device time, slices engaged, "
+        "no emergency fallback, deterministic"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.core.blockcache import DEFAULT_CACHE_BLOCKS, DecodedBlockCache
+from repro.core.compaction import CompactionConfig, CompactionScheduler
 from repro.core.governor import GovernorConfig, LoadGovernor, OverloadPolicy
 from repro.core.membuffer import InMemoryUpdateBuffer
 from repro.obs import get_registry, trace
@@ -97,6 +98,14 @@ class MaSMConfig:
     #: ``UpdateCacheFullError`` behaviour are preserved exactly.
     overload_policy: Optional[OverloadPolicy] = None
     governor: Optional[GovernorConfig] = None
+    #: Merge scheduling policy: ``"structural"`` (the default and the
+    #: paper's oracle behaviour — victims picked by position, merges run to
+    #: completion in the scan preamble) or ``"cost"`` (benefit/cost-scored
+    #: victims executed as WAL-fenced incremental slices; see
+    #: :mod:`repro.core.compaction`).
+    compaction: str = "structural"
+    #: Tuning for the cost-based scheduler; None uses defaults.
+    compaction_config: Optional[CompactionConfig] = None
 
     def governor_config(self) -> Optional[GovernorConfig]:
         """The effective governor tuning, or None when ungoverned."""
@@ -388,6 +397,17 @@ class MaSM:
         self.governor: Optional[LoadGovernor] = (
             LoadGovernor(self, governor_config) if governor_config is not None else None
         )
+        if self.config.compaction not in ("structural", "cost"):
+            raise ValueError(
+                f"compaction must be 'structural' or 'cost', "
+                f"got {self.config.compaction!r}"
+            )
+        #: Cost-based incremental merge scheduling (None = structural).
+        self.compactor: Optional[CompactionScheduler] = (
+            CompactionScheduler(self, self.config.compaction_config)
+            if self.config.compaction == "cost"
+            else None
+        )
 
     def attach_log(self, redo_log) -> None:
         """Enable write-ahead logging of incoming updates (Section 3.6).
@@ -637,13 +657,30 @@ class MaSM:
 
     # ----------------------------------------------------------- run merging
     def _ensure_run_budget(self) -> None:
-        """Merge earliest 1-pass runs until K1 + K2 <= query pages (Fig. 8)."""
+        """Merge earliest 1-pass runs until K1 + K2 <= query pages (Fig. 8).
+
+        With the cost-based scheduler attached, paced slices do the routine
+        merging between scans; this preamble only publishes safe pending
+        slices and enforces the emergency ceiling.
+        """
+        if self.compactor is not None:
+            self.compactor.ensure_budget()
+            return
         while len(self.runs) > self.params.query_pages:
             self._merge_earliest_runs(self.params.merge_fan_in)
 
-    def _merge_earliest_runs(self, fan_in: int) -> MaterializedSortedRun:
+    def _merge_earliest_runs(
+        self, fan_in: int, exclude_compacting: bool = False
+    ) -> Optional[MaterializedSortedRun]:
         with self._lock:
-            one_pass = [r for r in self.runs if r.passes == 1]
+            eligible = (
+                [r for r in self.runs if not r.compacting]
+                if exclude_compacting
+                else self.runs
+            )
+            if len(eligible) < 2:
+                return None
+            one_pass = [r for r in eligible if r.passes == 1]
             if len(one_pass) >= 2:
                 victims = one_pass[: max(2, min(fan_in, len(one_pass)))]
                 passes = 2
@@ -651,7 +688,7 @@ class MaSM:
                 # Degenerate fallback: merge the two earliest runs whatever
                 # their pass count (would be a 3-pass run; the alpha lower
                 # bound exists precisely to make this unnecessary).
-                victims = self.runs[:2]
+                victims = eligible[:2]
                 passes = max(r.passes for r in victims) + 1
             sim_interleave("masm.merge_runs")
             with trace("masm.merge_runs", fan_in=len(victims), passes=passes):
@@ -751,6 +788,8 @@ class MaSM:
             self._scan_seq += 1
             self._active_scans[scan_id] = query_ts
             runs = list(self.runs)
+            if self.compactor is not None:
+                self.compactor.observe_scan(runs, begin_key, end_key)
             # The buffer generation this scan's snapshot belongs to: the
             # MemScan below is built lazily, so it must learn the epoch of
             # registration time, not of first-pull time.
@@ -803,6 +842,10 @@ class MaSM:
                     self._gc_graveyard()
                 if self.governor is not None:
                     self.governor.on_scan_end()
+                elif self.compactor is not None:
+                    # Ungoverned cost mode: the between-scans hook is the
+                    # only pacing site (the governor co-schedules otherwise).
+                    self.compactor.maybe_step()
 
         return stream()
 
@@ -1007,6 +1050,10 @@ class MaSM:
                 rebuilt.covered_min_ts = run.covered_min_ts
                 rebuilt.covered_max_ts = run.covered_max_ts
                 rebuilt.migrated_ranges = list(run.migrated_ranges)
+                rebuilt.merged_ranges = list(run.merged_ranges)
+                rebuilt.compacting = run.compacting
+                if self.compactor is not None:
+                    self.compactor.replace_run(run, rebuilt)
                 for i, existing in enumerate(self.runs):
                     if existing is run:
                         self.runs[i] = rebuilt
@@ -1118,9 +1165,12 @@ class MaSM:
 
         Returns None when no fence can safely be cut: no log attached,
         nothing durable yet, a quarantined run (its log-fallback needs the
-        prefix), or graveyarded merge victims (truncating their RUN_MERGE
+        prefix), graveyarded merge victims (truncating their RUN_MERGE
         record while the victim files survive would double-apply every
-        merged update on the next recovery).
+        merged update on the next recovery), or an in-flight incremental
+        compaction (the manifest cannot carry merge masks, and truncating a
+        MERGE_SLICE record whose product is not in a manifest would orphan
+        it — slices are short, so the window closes quickly).
         """
         with self._lock:
             if self.redo_log is None:
@@ -1128,6 +1178,10 @@ class MaSM:
             if self._graveyard:
                 return None
             if any(run.quarantined for run in self.runs):
+                return None
+            if self.compactor is not None and self.compactor.busy:
+                return None
+            if any(run.merged_ranges for run in self.runs):
                 return None
             fence = self._checkpoint_fence()
             if fence <= 0:
@@ -1173,6 +1227,16 @@ class MaSM:
                 raise StorageError(
                     f"{self.name}: cannot export snapshot with quarantined "
                     f"run(s) {quarantined}"
+                )
+            if (self.compactor is not None and self.compactor.busy) or any(
+                r.merged_ranges for r in self.runs
+            ):
+                # RunSnapshot (like the manifest) does not carry merge
+                # masks; exporting mid-compaction would double-apply the
+                # sliced ranges on the installing replica.
+                raise StorageError(
+                    f"{self.name}: cannot export snapshot during an "
+                    "in-flight incremental compaction; retry shortly"
                 )
             fence = self._checkpoint_fence()
             heap = self.table.heap
@@ -1340,6 +1404,11 @@ class MaSM:
 
         sim_interleave("masm.migrate")
         with self._lock:
+            if self.compactor is not None:
+                # A full migration wants the whole cache: release the plan's
+                # victim locks where safe (partially merged victims keep
+                # their masks and stay cached — the next plan resumes them).
+                self.compactor.abandon_plan()
             with trace("masm.migrate", runs=len(self.runs)):
                 if self._migrate_hook is not None:
                     self._migrate_hook(self)

@@ -66,7 +66,11 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
     table = masm.table
     heap = table.heap
     schema = table.schema
-    runs = list(masm.runs)
+    # Victims locked by an open compaction plan must stay cached: their
+    # unmasked records are about to be re-homed into slice products, and
+    # migrating them here would apply those records twice after publication.
+    held = [run for run in masm.runs if run.compacting]
+    runs = [run for run in masm.runs if not run.compacting]
     if not runs:
         return None
     sim_interleave("migration.full")
@@ -94,7 +98,13 @@ def migrate_all(masm: "MaSM", redo_log=None) -> Optional[MigrationStats]:
         masm.retire_runs(runs, barrier_ts=t)
         # Every durable (non-buffered) update with ts <= t is now applied in
         # place; the checkpoint fence caps below any still-buffered update.
-        masm.migrated_through = max(masm.migrated_through, t)
+        # Held compaction victims are the exception — their span stays
+        # cached, so the fence must stop below it.
+        if held:
+            fence = min(run.covered_min_ts for run in held) - 1
+            masm.migrated_through = max(masm.migrated_through, min(t, fence))
+        else:
+            masm.migrated_through = max(masm.migrated_through, t)
         stats.runs_retired = len(runs)
     stats.publish("full")
     return stats
@@ -259,7 +269,8 @@ class CoordinatedMigration:
         # Flush the in-memory buffer first so the combined scan is fully
         # fresh (it merges exactly the materialized runs being migrated).
         masm.flush_buffer()
-        runs = list(masm.runs)
+        held = [run for run in masm.runs if run.compacting]
+        runs = [run for run in masm.runs if not run.compacting]
         if not runs:
             # Nothing cached: degrade to a plain fresh scan.
             yield from masm.range_scan(*table.full_key_range())
@@ -286,7 +297,13 @@ class CoordinatedMigration:
             if self.redo_log is not None:
                 self.redo_log.log_migration_end(t)
             masm.retire_runs(runs, barrier_ts=t)
-            masm.migrated_through = max(masm.migrated_through, t)
+            if held:
+                fence = min(run.covered_min_ts for run in held) - 1
+                masm.migrated_through = max(
+                    masm.migrated_through, min(t, fence)
+                )
+            else:
+                masm.migrated_through = max(masm.migrated_through, t)
             stats.runs_retired = len(runs)
             masm.stats.migrations += 1
             if masm.governor is not None:
@@ -329,6 +346,7 @@ def migrate_range(
         if run.min_key <= end_key
         and run.max_key >= begin_key
         and (oldest_scan_ts is None or run.max_ts <= oldest_scan_ts)
+        and not run.compacting
     ]
     if not runs:
         return None

@@ -48,6 +48,33 @@ DEFAULT_WRITE_CHUNK = 1 * MB
 READ_BATCH_BLOCKS = 128
 
 
+def _coalesce_into(ranges: list[tuple[int, int]], begin_key: int, end_key: int) -> None:
+    """Insert [begin, end] into a sorted, disjoint, non-adjacent range list."""
+    if end_key < begin_key:
+        return
+    i = bisect_left(ranges, (begin_key,))
+    if i > 0 and ranges[i - 1][1] >= begin_key - 1:
+        i -= 1
+        begin_key = ranges[i][0]
+    j = i
+    while j < len(ranges) and ranges[j][0] <= end_key + 1:
+        end_key = max(end_key, ranges[j][1])
+        j += 1
+    ranges[i:j] = [(begin_key, end_key)]
+
+
+def _covers(ranges: list[tuple[int, int]], lo: int, hi: int) -> bool:
+    """True when the coalesced range list covers every key in [lo, hi]."""
+    covered = lo
+    for r_lo, r_hi in sorted(ranges):
+        if r_lo > covered:
+            return False
+        covered = max(covered, r_hi + 1)
+        if covered > hi:
+            return True
+    return covered > hi
+
+
 class MaterializedSortedRun:
     """One immutable sorted run plus its in-memory run index."""
 
@@ -79,6 +106,14 @@ class MaterializedSortedRun:
         self.passes = passes
         #: Key ranges already migrated back to the main data (Section 3.5).
         self.migrated_ranges: list[tuple[int, int]] = []
+        #: Key ranges already merged into a slice product by the incremental
+        #: compaction scheduler; the product run is the durable home of these
+        #: records, so scans skip them here exactly like migrated ranges.
+        self.merged_ranges: list[tuple[int, int]] = []
+        #: Locked as a victim of an open compaction plan: structural merges
+        #: and migrations must leave the run alone until the plan releases
+        #: it, or recovery's ordered replay would double-apply its records.
+        self.compacting = False
         #: Set when a block failed checksum verification after retries; the
         #: run's SSD copy can no longer be trusted and scans must fall back
         #: to redo-log replay of its timestamp range.
@@ -165,9 +200,10 @@ class MaterializedSortedRun:
         if span is None:
             return
         first_block, last_block = span
-        # Snapshot the migrated ranges once per scan; mark_migrated keeps
-        # them coalesced, disjoint, and sorted, so membership is one bisect.
-        migrated = list(self.migrated_ranges)
+        # Snapshot the masked ranges (migrated + merged) once per scan; both
+        # lists are kept coalesced, disjoint, and sorted, so membership in
+        # their union is one bisect over the merged snapshot.
+        migrated = self.masked_spans()
         migrated_starts = [lo for lo, _ in migrated] if migrated else None
         for _, entry in self._iter_decoded_blocks(
             first_block, last_block, cache, stats
@@ -283,7 +319,7 @@ class MaterializedSortedRun:
         if span is None:
             return None
         first_block, last_block = span
-        migrated = list(self.migrated_ranges)
+        migrated = self.masked_spans()
         key_parts = []
         ts_parts = []
         rec_parts = []
@@ -449,21 +485,34 @@ class MaterializedSortedRun:
         a linear pass — and repeated partial migrations cannot grow the list
         quadratically.
         """
-        if end_key < begin_key:
-            return
-        ranges = self.migrated_ranges
-        i = bisect_left(ranges, (begin_key,))
-        if i > 0 and ranges[i - 1][1] >= begin_key - 1:
-            i -= 1
-            begin_key = ranges[i][0]
-        j = i
-        while j < len(ranges) and ranges[j][0] <= end_key + 1:
-            end_key = max(end_key, ranges[j][1])
-            j += 1
-        ranges[i:j] = [(begin_key, end_key)]
+        _coalesce_into(self.migrated_ranges, begin_key, end_key)
+
+    def mark_merged(self, begin_key: int, end_key: int) -> None:
+        """Record that keys in [begin, end] moved into a merge-slice product.
+
+        Same coalesced bookkeeping as :meth:`mark_migrated`, kept as a
+        separate list because the two retirements answer different
+        questions: migrated data lives in the main table, merged data lives
+        in another run — migration accounting must not see merge masks.
+        """
+        _coalesce_into(self.merged_ranges, begin_key, end_key)
+
+    def masked_spans(self) -> list[tuple[int, int]]:
+        """The scan-invisible key ranges: migrated ∪ merged, coalesced."""
+        if not self.merged_ranges:
+            return list(self.migrated_ranges)
+        if not self.migrated_ranges:
+            return list(self.merged_ranges)
+        combined: list[tuple[int, int]] = []
+        for lo, hi in sorted(self.migrated_ranges + self.merged_ranges):
+            if combined and lo <= combined[-1][1] + 1:
+                combined[-1] = (combined[-1][0], max(combined[-1][1], hi))
+            else:
+                combined.append((lo, hi))
+        return combined
 
     def _is_migrated(self, key: int) -> bool:
-        ranges = self.migrated_ranges
+        ranges = self.masked_spans()
         if not ranges:
             return False
         i = bisect_right(ranges, (key, float("inf"))) - 1
@@ -471,14 +520,11 @@ class MaterializedSortedRun:
 
     def fully_migrated(self, table_min: int, table_max: int) -> bool:
         """True if the migrated ranges cover [table_min, table_max]."""
-        covered = table_min
-        for lo, hi in sorted(self.migrated_ranges):
-            if lo > covered:
-                return False
-            covered = max(covered, hi + 1)
-            if covered > table_max:
-                return True
-        return covered > table_max
+        return _covers(self.migrated_ranges, table_min, table_max)
+
+    def fully_merged(self, key_min: int, key_max: int) -> bool:
+        """True if the merge-slice masks cover [key_min, key_max]."""
+        return _covers(self.merged_ranges, key_min, key_max)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -55,6 +55,20 @@ SCENARIOS = {
         replicators=1,
         replica_ops=30,
     ),
+    # Cost-based compaction stress: the engine runs in "cost" mode with a
+    # tiny run-count trigger, a dedicated actor paces WAL-fenced merge
+    # slices between updates/scans/flushes, and a crasher tears the whole
+    # process down mid-plan — recovery must resume the half-merged state
+    # and every scan stays model-checked throughout.
+    "compaction": lambda: replace(
+        SimConfig.canonical(),
+        compaction="cost",
+        compactors=1,
+        compact_ops=10,
+        update_ops=60,
+        flush_ops=6,
+        crashers=1,
+    ),
     # Durability churn: a 3-way replica set driven through checkpointed
     # WAL truncation, total replica wipes revived by snapshot bootstrap,
     # rejoins that must cross the truncation fence, and silent bit-flips

@@ -13,6 +13,12 @@ The log therefore carries these record kinds:
   ``run_name``; written *before* the product run is materialized, so the
   product file's intact existence is the merge's commit point and recovery
   can discard superseded victim files a crash left behind.
+* ``MERGE_SLICE``     — one key-range slice of an *incremental* merge: keys
+  in ``key_range`` of the victim runs ``run_names`` move into slice product
+  ``run_name``.  Same commit-point discipline as ``RUN_MERGE`` (record
+  first, product file's intact existence commits the slice); the victims
+  stay live with the slice's key range masked until committed slices cover
+  the whole key domain, at which point recovery retires them.
 * ``CHECKPOINT``      — a durability fence (:class:`Checkpoint`): every
   update with ``ts <= checkpoint_ts`` is durable in the manifest's runs or
   migrated in place, so the log prefix holding those records is dead weight
@@ -60,6 +66,7 @@ class LogRecordType(IntEnum):
     MIGRATION_END = 4
     RUN_MERGE = 5
     CHECKPOINT = 6
+    MERGE_SLICE = 7
 
 
 @dataclass(frozen=True)
@@ -238,6 +245,27 @@ class RedoLog:
         for name in victims:
             payload += _pack_str(name)
         self._append(LogRecordType.RUN_MERGE, payload)
+
+    def log_merge_slice(
+        self,
+        timestamp: int,
+        product: str,
+        victims: list[str],
+        key_range: tuple[int, int],
+        covered_ts: tuple[int, int],
+    ) -> None:
+        payload = struct.pack(
+            "<QQQqqH",
+            timestamp,
+            covered_ts[0],
+            covered_ts[1],
+            key_range[0],
+            key_range[1],
+            len(victims),
+        ) + _pack_str(product)
+        for name in victims:
+            payload += _pack_str(name)
+        self._append(LogRecordType.MERGE_SLICE, payload)
 
     def log_checkpoint(self, checkpoint: Checkpoint) -> None:
         self._append(
@@ -474,6 +502,23 @@ class RedoLog:
                 run_name=product,
                 run_names=tuple(victims),
                 covered_ts=(lo, hi),
+            )
+        if rtype == LogRecordType.MERGE_SLICE:
+            timestamp, cov_lo, cov_hi, key_lo, key_hi, count = struct.unpack_from(
+                "<QQQqqH", payload, 0
+            )
+            product, pos = _unpack_str(payload, struct.calcsize("<QQQqqH"))
+            victims = []
+            for _ in range(count):
+                name, pos = _unpack_str(payload, pos)
+                victims.append(name)
+            return LogRecord(
+                rtype,
+                timestamp,
+                run_name=product,
+                run_names=tuple(victims),
+                key_range=(key_lo, key_hi),
+                covered_ts=(cov_lo, cov_hi),
             )
         if rtype == LogRecordType.CHECKPOINT:
             checkpoint_ts, migrated_ts = struct.unpack_from("<QQ", payload, 0)

@@ -1,0 +1,193 @@
+"""Property-based tests of compaction transparency.
+
+The invariant: *any* compaction schedule — cost-scored or structural, any
+slice size, interleaved with updates, scans, flushes, clean crashes and
+crashes torn mid-slice — answers byte-identically to a no-compaction dict
+oracle at every snapshot timestamp, including historical ones taken before
+the compaction ran.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compaction import CompactionConfig
+from repro.core.masm import MaSM, MaSMConfig
+from repro.engine.record import synthetic_schema
+from repro.engine.table import Table
+from repro.errors import SimulatedCrash
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultPlan, use_fault_plan
+from repro.storage.file import StorageVolume
+from repro.storage.ssd import SimulatedSSD
+from repro.txn.log import RedoLog
+from repro.txn.recovery import recover_masm
+from repro.util.units import KB, MB
+
+SCHEMA = synthetic_schema()
+ROWS = 60
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "insert",
+                "delete",
+                "modify",
+                "flush",
+                "compact",
+                "scan",
+                "historic",
+                "crash",
+                "torn",
+            ]
+        ),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class System:
+    """Engine + WAL + the dict oracle with its per-timestamp history."""
+
+    def __init__(self, mode: str, slice_records: int) -> None:
+        self.disk_vol = StorageVolume(SimulatedDisk(capacity=64 * MB))
+        self.ssd_vol = StorageVolume(SimulatedSSD(capacity=16 * MB))
+        self.table = Table.create(self.disk_vol, "t", SCHEMA, ROWS, slack=1.0)
+        self.table.bulk_load((i * 2, f"rec-{i}") for i in range(ROWS))
+        self.config = MaSMConfig(
+            alpha=1.2,
+            ssd_page_size=4 * KB,
+            block_size=2 * KB,
+            auto_migrate=False,
+            compaction=mode,
+            compaction_config=(
+                CompactionConfig(
+                    min_slice_records=slice_records,
+                    trigger_runs=2,
+                    emergency_slack=100,
+                )
+                if mode == "cost"
+                else None
+            ),
+        )
+        self.log = RedoLog(self.ssd_vol.create("wal", 4 * MB))
+        self.masm = MaSM(self.table, self.ssd_vol, config=self.config)
+        self.masm.attach_log(self.log)
+        self.model = {i * 2: (i * 2, f"rec-{i}") for i in range(ROWS)}
+        #: (timestamp, model copy at that timestamp), append-only.
+        self.history: list[tuple[int, dict]] = []
+
+    def snapshot(self) -> None:
+        self.history.append((self.masm.oracle.current, dict(self.model)))
+
+    def crash_and_recover(self) -> None:
+        old_oracle_ts = self.masm.oracle.current
+        bare = Table(self.table.name, self.table.schema, self.table.heap)
+        bare.heap.num_pages = self.table.heap.capacity_pages
+        fresh_log = RedoLog(self.log.file)
+        fresh_log.file._append_pos = 0
+        recovered, _report = recover_masm(
+            bare, self.ssd_vol, fresh_log, config=self.config
+        )
+        # Timestamps handed to scans never hit the WAL; the recovered
+        # oracle must not re-issue them or history snapshots would shift.
+        recovered.oracle.advance_past(old_oracle_ts)
+        self.masm = recovered
+        self.log = fresh_log
+
+
+def run_ops(system: System, ops) -> None:
+    masm = system.masm
+    model = system.model
+    for kind, key_choice, tag in ops:
+        masm = system.masm  # crashes replace the engine object
+        if kind == "insert":
+            key = key_choice
+            if key in model:
+                continue
+            record = (key, f"p{tag}")
+            masm.insert(record)
+            model[key] = record
+            system.snapshot()
+        elif kind == "delete":
+            if not model:
+                continue
+            key = sorted(model)[key_choice % len(model)]
+            masm.delete(key)
+            del model[key]
+            system.snapshot()
+        elif kind == "modify":
+            if not model:
+                continue
+            key = sorted(model)[key_choice % len(model)]
+            masm.modify(key, {"payload": f"m{tag}"})
+            model[key] = (key, f"m{tag}")
+            system.snapshot()
+        elif kind == "flush":
+            masm.flush_buffer()
+        elif kind == "compact":
+            if masm.compactor is not None:
+                for _ in range(1 + tag % 3):
+                    masm.compactor.maybe_step()
+            else:
+                masm._ensure_run_budget()
+        elif kind == "scan":
+            lo = key_choice
+            hi = lo + 40
+            got = {SCHEMA.key(r): r for r in masm.range_scan(lo, hi)}
+            expected = {k: v for k, v in model.items() if lo <= k <= hi}
+            assert got == expected
+        elif kind == "historic":
+            if not system.history:
+                continue
+            ts, want = system.history[key_choice % len(system.history)]
+            got = {
+                SCHEMA.key(r): r
+                for r in masm.range_scan(0, 10**9, query_ts=ts)
+            }
+            assert got == want, f"snapshot at ts={ts} diverged"
+        elif kind == "crash":
+            system.crash_and_recover()
+        else:  # torn: crash inside the slice protocol, then recover
+            if masm.compactor is None:
+                continue
+            site = (
+                "compaction.slice_emitted"
+                if tag % 2
+                else "compaction.slice_committed"
+            )
+            plan = FaultPlan().crash_at(site, occurrence=1)
+            try:
+                with use_fault_plan(plan):
+                    for _ in range(8):
+                        if not masm.compactor.maybe_step():
+                            break
+            except SimulatedCrash:
+                system.crash_and_recover()
+    # Final full check at the current timestamp and at every history point.
+    masm = system.masm
+    got = {SCHEMA.key(r): r for r in masm.range_scan(0, 10**9)}
+    assert got == model
+    for ts, want in system.history:
+        got = {
+            SCHEMA.key(r): r for r in masm.range_scan(0, 10**9, query_ts=ts)
+        }
+        assert got == want, f"final check: snapshot at ts={ts} diverged"
+
+
+@given(ops=ops_strategy, slice_records=st.sampled_from([1, 4, 32]))
+@settings(max_examples=25, deadline=None)
+def test_cost_compaction_transparent_at_every_snapshot(ops, slice_records):
+    system = System("cost", slice_records)
+    run_ops(system, ops)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=15, deadline=None)
+def test_structural_mode_matches_same_oracle(ops):
+    """The default-off oracle path: same schedule, structural compaction."""
+    system = System("structural", 1)
+    run_ops(system, ops)
